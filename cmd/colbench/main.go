@@ -1,0 +1,91 @@
+// Colbench regenerates the paper's evaluation tables and figures
+// (see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// results).
+//
+// Usage:
+//
+//	colbench [-experiment all|figure7|table1|colocation|figure8|figure9|table2|figure10|figure11]
+//	         [-scale F] [-seed N]
+//
+// Scale multiplies the laptop-scale record counts each experiment measures
+// before extrapolating to the paper's dataset sizes; 1.0 takes a few
+// seconds per experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"colmr/internal/bench"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(bench.Config) error
+}{
+	{"figure7", "Section 6.2 scan microbenchmark: TXT vs SEQ vs CIF vs RCFile",
+		func(c bench.Config) error { _, err := bench.Figure7(c); return err }},
+	{"table1", "Section 6.3 crawl job over 11 storage-format variants",
+		func(c bench.Config) error { _, err := bench.Table1(c); return err }},
+	{"colocation", "Section 6.4 ColumnPlacementPolicy vs default placement",
+		func(c bench.Config) error { _, err := bench.Colocation(c); return err }},
+	{"figure8", "Appendix B.1 deserialization read bandwidth",
+		func(c bench.Config) error { _, err := bench.Figure8(c); return err }},
+	{"figure9", "Appendix B.2 RCFile row-group size tuning",
+		func(c bench.Config) error { _, err := bench.Figure9(c); return err }},
+	{"table2", "Appendix B.3 load times",
+		func(c bench.Config) error { _, err := bench.Table2(c); return err }},
+	{"figure10", "Appendix B.4 selectivity sweep (lazy materialization)",
+		func(c bench.Config) error { _, err := bench.Figure10(c); return err }},
+	{"figure11", "Appendix B.5 record-width sweep",
+		func(c bench.Config) error { _, err := bench.Figure11(c); return err }},
+	{"skiplevels", "ablation: skip-list level configuration",
+		func(c bench.Config) error { _, err := bench.AblationSkipLevels(c); return err }},
+	{"parallelism", "ablation: split granularity vs cluster parallelism (§4.3)",
+		func(c bench.Config) error { _, err := bench.AblationParallelism(c); return err }},
+	{"blocksize", "ablation: compression block size",
+		func(c bench.Config) error { _, err := bench.AblationBlockSize(c); return err }},
+	{"recovery", "ablation: datanode failure and re-replication (§4.3 future work)",
+		func(c bench.Config) error { _, err := bench.AblationRecovery(c); return err }},
+}
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run (all, figure7, table1, colocation, figure8, figure9, table2, figure10, figure11)")
+		scale      = flag.Float64("scale", 1.0, "record-count multiplier for the measured sample")
+		seed       = flag.Int64("seed", 2011, "generator and placement seed")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-12s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Out: os.Stdout}
+	want := strings.ToLower(*experiment)
+	ran := 0
+	for _, e := range experiments {
+		if want != "all" && want != e.name {
+			continue
+		}
+		start := time.Now()
+		if err := e.run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "colbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %.1fs wall time]\n\n", e.name, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "colbench: unknown experiment %q (use -list)\n", *experiment)
+		os.Exit(2)
+	}
+}

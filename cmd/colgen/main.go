@@ -1,0 +1,139 @@
+// Colgen generates one of the paper's datasets into a simulated HDFS and
+// reports its storage profile per format — a quick way to inspect how the
+// workloads and formats behave before running full experiments.
+//
+// Usage:
+//
+//	colgen [-workload synthetic|crawl|wide] [-records N] [-columns N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"colmr/internal/core"
+	"colmr/internal/formats/rcfile"
+	"colmr/internal/formats/seq"
+	"colmr/internal/formats/txt"
+	"colmr/internal/hdfs"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+	"colmr/internal/workload"
+)
+
+type generator interface {
+	Schema() *serde.Schema
+	Record(i int64) *serde.GenericRecord
+}
+
+func main() {
+	var (
+		kind    = flag.String("workload", "synthetic", "dataset to generate (synthetic, crawl, wide)")
+		records = flag.Int64("records", 20000, "number of records")
+		columns = flag.Int("columns", 40, "columns for the wide workload")
+		seed    = flag.Int64("seed", 2011, "generator seed")
+	)
+	flag.Parse()
+
+	var gen generator
+	switch *kind {
+	case "synthetic":
+		gen = workload.NewSynthetic(*seed)
+	case "crawl":
+		gen = workload.NewCrawl(workload.CrawlOptions{Seed: *seed})
+	case "wide":
+		gen = workload.NewWide(*seed, *columns)
+	default:
+		fmt.Fprintf(os.Stderr, "colgen: unknown workload %q\n", *kind)
+		os.Exit(2)
+	}
+
+	fs := hdfs.New(sim.SingleNode(), *seed)
+	fs.SetPlacementPolicy(hdfs.NewColumnPlacementPolicy())
+
+	fmt.Printf("workload %s, %d records\nschema:\n%s\n\n", *kind, *records, gen.Schema())
+
+	sizes := map[string]int64{}
+
+	// TXT.
+	{
+		f, err := fs.Create("/g/data.txt", hdfs.AnyNode)
+		check(err)
+		w := txt.NewWriter(f)
+		for i := int64(0); i < *records; i++ {
+			check(w.Write(gen.Record(i)))
+		}
+		check(f.Close())
+		sizes["TXT"] = fs.TotalSize("/g/data.txt")
+	}
+	// SEQ.
+	{
+		f, err := fs.Create("/g/data.seq", hdfs.AnyNode)
+		check(err)
+		w, err := seq.NewWriter(f, "/g/data.seq", gen.Schema(), seq.Options{}, nil)
+		check(err)
+		for i := int64(0); i < *records; i++ {
+			check(w.Append(gen.Record(i)))
+		}
+		check(w.Close())
+		check(f.Close())
+		sizes["SEQ"] = fs.TotalSize("/g/data.seq")
+	}
+	// RCFile (plain and compressed).
+	for _, v := range []struct {
+		name  string
+		codec string
+	}{{"RCFile", "none"}, {"RCFile-zlib", "zlib"}} {
+		p := "/g/" + v.name + ".rc"
+		f, err := fs.Create(p, hdfs.AnyNode)
+		check(err)
+		w, err := rcfile.NewWriter(f, p, gen.Schema(), rcfile.Options{Codec: v.codec}, nil)
+		check(err)
+		for i := int64(0); i < *records; i++ {
+			check(w.Append(gen.Record(i)))
+		}
+		check(w.Close())
+		check(f.Close())
+		sizes[v.name] = fs.TotalSize(p)
+	}
+	// CIF.
+	{
+		w, err := core.NewWriter(fs, "/g/cif", gen.Schema(), core.LoadOptions{SplitRecords: *records/4 + 1}, nil)
+		check(err)
+		for i := int64(0); i < *records; i++ {
+			check(w.Append(gen.Record(i)))
+		}
+		check(w.Close())
+		sizes["CIF"] = fs.TreeSize("/g/cif")
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "format\tbytes\tbytes/record")
+	for _, name := range []string{"TXT", "SEQ", "RCFile", "RCFile-zlib", "CIF"} {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\n", name, sizes[name], float64(sizes[name])/float64(*records))
+	}
+	tw.Flush()
+
+	// Per-column profile of the CIF dataset.
+	fmt.Println("\nCIF column files (first split-directory):")
+	infos, err := fs.List("/g/cif/s0")
+	check(err)
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "column\tbytes\tshare")
+	for _, fi := range infos {
+		if fi.IsDir || fi.Name() == core.SchemaFile {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f%%\n", fi.Name(), fi.Size, 100*float64(fi.Size)/float64(sizes["CIF"]))
+	}
+	tw.Flush()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "colgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,120 @@
+// Colload converts a generated dataset from SequenceFile form into CIF
+// with configurable per-column layouts — the paper's parallel loader — and
+// reports load work and the modeled load time (Appendix B.3).
+//
+// Usage:
+//
+//	colload [-workload crawl|synthetic] [-records N]
+//	        [-layout plain|skiplist|dcsl] [-codec none|lzo|zlib] [-seed N]
+//
+// The layout flag applies to map-typed columns; -codec wraps every column
+// in compressed blocks instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"colmr/internal/colfile"
+	"colmr/internal/core"
+	"colmr/internal/formats/seq"
+	"colmr/internal/hdfs"
+	"colmr/internal/mapred"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+	"colmr/internal/workload"
+)
+
+type generator interface {
+	Schema() *serde.Schema
+	Record(i int64) *serde.GenericRecord
+}
+
+func main() {
+	var (
+		kind    = flag.String("workload", "crawl", "dataset (synthetic, crawl)")
+		records = flag.Int64("records", 10000, "number of records")
+		layout  = flag.String("layout", "skiplist", "layout for map columns (plain, skiplist, dcsl)")
+		codec   = flag.String("codec", "", "wrap all columns in compressed blocks with this codec (lzo, zlib)")
+		seed    = flag.Int64("seed", 2011, "generator seed")
+	)
+	flag.Parse()
+
+	var gen generator
+	switch *kind {
+	case "synthetic":
+		gen = workload.NewSynthetic(*seed)
+	case "crawl":
+		gen = workload.NewCrawl(workload.CrawlOptions{Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "colload: unknown workload %q\n", *kind)
+		os.Exit(2)
+	}
+
+	cluster := sim.DefaultCluster()
+	model := sim.DefaultModelFor(cluster)
+	fs := hdfs.New(cluster, *seed)
+	fs.SetPlacementPolicy(hdfs.NewColumnPlacementPolicy())
+
+	// Source SequenceFile.
+	f, err := fs.Create("/load/src.seq", hdfs.AnyNode)
+	check(err)
+	w, err := seq.NewWriter(f, "/load/src.seq", gen.Schema(), seq.Options{}, nil)
+	check(err)
+	for i := int64(0); i < *records; i++ {
+		check(w.Append(gen.Record(i)))
+	}
+	check(w.Close())
+	check(f.Close())
+	srcBytes := fs.TotalSize("/load/src.seq")
+
+	// Column layouts.
+	mapLayout, err := colfile.ParseLayout(*layout)
+	check(err)
+	opts := core.LoadOptions{
+		SplitRecords: *records/16 + 1,
+		PerColumn:    map[string]colfile.Options{},
+	}
+	if *codec != "" {
+		opts.Default = colfile.Options{Layout: colfile.Block, Codec: *codec}
+	}
+	for _, fld := range gen.Schema().Fields {
+		if fld.Type.Kind == serde.KindMap {
+			opts.PerColumn[fld.Name] = colfile.Options{Layout: mapLayout}
+		}
+	}
+
+	var stats sim.TaskStats
+	conf := &mapred.JobConf{InputPaths: []string{"/load/src.seq"}}
+	n, err := core.Load(fs, &seq.InputFormat{}, conf, gen.Schema(), "/load/cif", opts, &stats)
+	check(err)
+
+	dstBytes := fs.TreeSize("/load/cif")
+	fmt.Printf("loaded %d records: SEQ %.2f MB -> CIF %.2f MB (map columns as %s", n,
+		float64(srcBytes)/(1<<20), float64(dstBytes)/(1<<20), mapLayout)
+	if *codec != "" {
+		fmt.Printf(", blocks %s", *codec)
+	}
+	fmt.Println(")")
+	fmt.Printf("read: %.2f MB charged, wrote: %.2f MB (before replication)\n",
+		float64(stats.IO.TotalChargedBytes())/(1<<20), float64(stats.IO.BytesWritten)/(1<<20))
+	fmt.Printf("modeled cluster load time at this size: %.1fs\n", model.LoadSeconds(stats))
+
+	dirs := 0
+	infos, err := fs.List("/load/cif")
+	check(err)
+	for _, fi := range infos {
+		if fi.IsDir {
+			dirs++
+		}
+	}
+	fmt.Printf("split-directories: %d\n", dirs)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "colload: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,167 @@
+// Colscan builds a dataset in each storage format and scans it with a
+// column projection, reporting logical/charged bytes, seeks, per-type
+// deserialization work, and the modeled single-node scan time — the
+// paper's Section 6.2 methodology on demand.
+//
+// Usage:
+//
+//	colscan [-workload synthetic|crawl] [-records N] [-columns url,metadata]
+//	        [-lazy] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"colmr/internal/core"
+	"colmr/internal/formats/rcfile"
+	"colmr/internal/formats/seq"
+	"colmr/internal/hdfs"
+	"colmr/internal/mapred"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+	"colmr/internal/workload"
+)
+
+type generator interface {
+	Schema() *serde.Schema
+	Record(i int64) *serde.GenericRecord
+}
+
+func main() {
+	var (
+		kind    = flag.String("workload", "synthetic", "dataset (synthetic, crawl)")
+		records = flag.Int64("records", 20000, "number of records")
+		columns = flag.String("columns", "", "comma-separated projection (empty = all columns)")
+		lazy    = flag.Bool("lazy", false, "use lazy record construction for CIF")
+		seed    = flag.Int64("seed", 2011, "generator seed")
+	)
+	flag.Parse()
+
+	var gen generator
+	switch *kind {
+	case "synthetic":
+		gen = workload.NewSynthetic(*seed)
+	case "crawl":
+		gen = workload.NewCrawl(workload.CrawlOptions{Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "colscan: unknown workload %q\n", *kind)
+		os.Exit(2)
+	}
+
+	cluster := sim.SingleNode()
+	model := sim.DefaultModelFor(cluster)
+	fs := hdfs.New(cluster, *seed)
+	fs.SetPlacementPolicy(hdfs.NewColumnPlacementPolicy())
+
+	// Build SEQ, RCFile, CIF copies.
+	{
+		f, err := fs.Create("/s/data.seq", hdfs.AnyNode)
+		check(err)
+		w, err := seq.NewWriter(f, "/s/data.seq", gen.Schema(), seq.Options{}, nil)
+		check(err)
+		for i := int64(0); i < *records; i++ {
+			check(w.Append(gen.Record(i)))
+		}
+		check(w.Close())
+		check(f.Close())
+	}
+	{
+		f, err := fs.Create("/s/data.rc", hdfs.AnyNode)
+		check(err)
+		w, err := rcfile.NewWriter(f, "/s/data.rc", gen.Schema(), rcfile.Options{}, nil)
+		check(err)
+		for i := int64(0); i < *records; i++ {
+			check(w.Append(gen.Record(i)))
+		}
+		check(w.Close())
+		check(f.Close())
+	}
+	{
+		w, err := core.NewWriter(fs, "/s/cif", gen.Schema(), core.LoadOptions{SplitRecords: *records/4 + 1}, nil)
+		check(err)
+		for i := int64(0); i < *records; i++ {
+			check(w.Append(gen.Record(i)))
+		}
+		check(w.Close())
+	}
+
+	var proj []string
+	if *columns != "" {
+		proj = strings.Split(*columns, ",")
+	}
+
+	type result struct {
+		name string
+		st   sim.TaskStats
+	}
+	var results []result
+
+	scan := func(name string, in mapred.InputFormat, conf *mapred.JobConf) {
+		splits, err := in.Splits(fs, conf)
+		check(err)
+		var total sim.TaskStats
+		for _, sp := range splits {
+			var st sim.TaskStats
+			rr, err := in.Open(fs, conf, sp, 0, &st)
+			check(err)
+			for {
+				_, v, ok, err := rr.Next()
+				check(err)
+				if !ok {
+					break
+				}
+				if rec, isRec := v.(serde.Record); isRec && len(proj) > 0 {
+					// Touch the projected fields, as a map function would.
+					for _, c := range proj {
+						if _, err := rec.Get(c); err != nil {
+							check(err)
+						}
+					}
+				}
+				st.RecordsProcessed++
+			}
+			check(rr.Close())
+			total.Add(st)
+		}
+		results = append(results, result{name, total})
+	}
+
+	scan("SEQ", &seq.InputFormat{}, &mapred.JobConf{InputPaths: []string{"/s/data.seq"}})
+	rconf := &mapred.JobConf{InputPaths: []string{"/s/data.rc"}}
+	if proj != nil {
+		rcfile.SetColumns(rconf, proj...)
+	}
+	scan("RCFile", &rcfile.InputFormat{}, rconf)
+	cconf := &mapred.JobConf{InputPaths: []string{"/s/cif"}}
+	if proj != nil {
+		core.SetColumns(cconf, proj...)
+	}
+	core.SetLazy(cconf, *lazy)
+	scan("CIF", &core.InputFormat{}, cconf)
+
+	fmt.Printf("scan of %d %s records, projection=%v, lazy=%v\n\n", *records, *kind, proj, *lazy)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "format\tlogical MB\tcharged MB\tseeks\tmap KB\tvalues\tmodeled scan")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%d\t%.1f\t%d\t%.3fs\n",
+			r.name,
+			float64(r.st.IO.LogicalBytes)/(1<<20),
+			float64(r.st.IO.TotalChargedBytes())/(1<<20),
+			r.st.IO.Seeks,
+			float64(r.st.CPU.MapBytes)/(1<<10),
+			r.st.CPU.ValuesMaterialized,
+			model.ScanSeconds(r.st))
+	}
+	tw.Flush()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "colscan: %v\n", err)
+		os.Exit(1)
+	}
+}

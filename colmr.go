@@ -1,0 +1,276 @@
+// Package colmr is a Go implementation of the column-oriented storage
+// techniques for MapReduce described in Floratou, Patel, Shekita and Tata,
+// "Column-Oriented Storage Techniques for MapReduce", PVLDB 4(7), 2011 —
+// the CIF/COF design that preceded the Parquet/ORC generation of columnar
+// Hadoop formats.
+//
+// The module contains a complete, self-contained stack:
+//
+//   - a simulated HDFS with block replication and pluggable block placement
+//     (including the paper's co-locating ColumnPlacementPolicy);
+//   - a MapReduce engine with Hadoop's InputFormat/OutputFormat extension
+//     points, locality-aware scheduling, and shuffle/sort/reduce;
+//   - an Avro-like serialization framework with schemas, generic records,
+//     and complex types (arrays, maps, nested records);
+//   - the storage formats: delimited text, SequenceFiles (four variants),
+//     RCFile, and the paper's CIF/COF column format with plain, skip-list,
+//     compressed-block, and dictionary-compressed-skip-list column layouts
+//     plus lazy record construction;
+//   - workload generators and benchmark harnesses that regenerate every
+//     table and figure of the paper's evaluation (see EXPERIMENTS.md).
+//
+// This package re-exports the user-facing API; implementation lives under
+// internal/. The quickstart in examples/quickstart/main.go shows the full
+// write-load-query cycle in ~60 lines.
+package colmr
+
+import (
+	"io"
+
+	"colmr/internal/bench"
+	"colmr/internal/colfile"
+	"colmr/internal/core"
+	"colmr/internal/hdfs"
+	"colmr/internal/mapred"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+	"colmr/internal/workload"
+)
+
+// Cluster and filesystem.
+type (
+	// ClusterConfig describes the modeled cluster (nodes, slots, disks,
+	// network, block size).
+	ClusterConfig = sim.ClusterConfig
+	// CostModel prices measured work counters into simulated seconds.
+	CostModel = sim.CostModel
+	// TaskStats accumulates a task's I/O and CPU work counters.
+	TaskStats = sim.TaskStats
+	// FileSystem is the simulated HDFS namenode + datanodes.
+	FileSystem = hdfs.FileSystem
+	// NodeID identifies a datanode.
+	NodeID = hdfs.NodeID
+	// BlockPlacementPolicy chooses replica locations for new blocks.
+	BlockPlacementPolicy = hdfs.BlockPlacementPolicy
+)
+
+// AnyNode is the node id used when locality does not matter.
+const AnyNode = hdfs.AnyNode
+
+// DefaultCluster returns the paper's 40-node cluster configuration.
+func DefaultCluster() ClusterConfig { return sim.DefaultCluster() }
+
+// SingleNode returns a one-node configuration for microbenchmarks.
+func SingleNode() ClusterConfig { return sim.SingleNode() }
+
+// DefaultModel returns the calibrated cost model for the default cluster.
+func DefaultModel() CostModel { return sim.DefaultModel() }
+
+// NewFileSystem creates a simulated HDFS over the given cluster. The seed
+// makes block placement deterministic.
+func NewFileSystem(cfg ClusterConfig, seed int64) *FileSystem { return hdfs.New(cfg, seed) }
+
+// NewColumnPlacementPolicy returns the paper's co-locating block placement
+// policy (install with FileSystem.SetPlacementPolicy).
+func NewColumnPlacementPolicy() BlockPlacementPolicy { return hdfs.NewColumnPlacementPolicy() }
+
+// Schemas and records.
+type (
+	// Schema is a column/record type descriptor.
+	Schema = serde.Schema
+	// Field is a named record field.
+	Field = serde.Field
+	// Record is the generic record abstraction map functions consume;
+	// both eager and lazy records implement it.
+	Record = serde.Record
+	// GenericRecord is an eagerly materialized record.
+	GenericRecord = serde.GenericRecord
+)
+
+// ParseSchema parses the paper's schema DSL (see serde.Parse for the
+// grammar):
+//
+//	URLInfo { string url, time fetchTime, map<string> metadata, bytes content }
+func ParseSchema(src string) (*Schema, error) { return serde.Parse(src) }
+
+// MustParseSchema is ParseSchema that panics on error.
+func MustParseSchema(src string) *Schema { return serde.MustParse(src) }
+
+// NewRecord returns an empty record of the given schema.
+func NewRecord(s *Schema) *GenericRecord { return serde.NewRecord(s) }
+
+// Primitive and composite schema constructors, for building schemas
+// programmatically (AddColumn and tests).
+func BoolSchema() *Schema          { return serde.Bool() }
+func IntSchema() *Schema           { return serde.Int() }
+func LongSchema() *Schema          { return serde.Long() }
+func DoubleSchema() *Schema        { return serde.Double() }
+func StringSchema() *Schema        { return serde.String() }
+func BytesSchema() *Schema         { return serde.Bytes() }
+func TimeSchema() *Schema          { return serde.Time() }
+func ArrayOf(elem *Schema) *Schema { return serde.ArrayOf(elem) }
+func MapOf(value *Schema) *Schema  { return serde.MapOf(value) }
+func RecordOf(name string, fields ...Field) *Schema {
+	return serde.RecordOf(name, fields...)
+}
+
+// MapReduce.
+type (
+	// Job is a configured MapReduce job.
+	Job = mapred.Job
+	// JobConf carries job configuration.
+	JobConf = mapred.JobConf
+	// JobResult reports a finished job's work counters.
+	JobResult = mapred.Result
+	// InputFormat generates splits and record readers.
+	InputFormat = mapred.InputFormat
+	// OutputFormat writes job output.
+	OutputFormat = mapred.OutputFormat
+	// Emit passes a pair out of a map or reduce function.
+	Emit = mapred.Emit
+	// MapperFunc adapts a function to the Mapper interface.
+	MapperFunc = mapred.MapperFunc
+	// ReducerFunc adapts a function to the Reducer interface.
+	ReducerFunc = mapred.ReducerFunc
+	// TextOutput writes key<TAB>value lines.
+	TextOutput = mapred.TextOutput
+	// NullOutput discards output (for measurement-only jobs).
+	NullOutput = mapred.NullOutput
+)
+
+// RunJob executes a MapReduce job and returns its work counters.
+func RunJob(fs *FileSystem, job *Job) (*JobResult, error) { return mapred.Run(fs, job) }
+
+// CIF / COF — the paper's contribution.
+type (
+	// ColumnInputFormat (CIF) reads CIF datasets with projection pushdown
+	// and lazy record construction.
+	ColumnInputFormat = core.InputFormat
+	// ColumnWriter (COF) loads records into split-directories of column
+	// files.
+	ColumnWriter = core.Writer
+	// LoadOptions configures a COF load (split sizing, per-column
+	// layouts).
+	LoadOptions = core.LoadOptions
+	// ColumnOptions selects a column file's physical layout.
+	ColumnOptions = colfile.Options
+	// ColumnLayout enumerates the physical layouts.
+	ColumnLayout = colfile.Layout
+)
+
+// Column layouts (paper Sections 4.2, 5.2, 5.3).
+const (
+	// LayoutPlain stores concatenated values; skipping walks each record.
+	LayoutPlain = colfile.Plain
+	// LayoutSkipList interleaves skip blocks at 10/100/1000-record
+	// boundaries for cheap skipping.
+	LayoutSkipList = colfile.SkipList
+	// LayoutBlock stores LZO- or ZLIB-compressed blocks with lazy
+	// decompression.
+	LayoutBlock = colfile.Block
+	// LayoutDCSL is the dictionary compressed skip list for map columns.
+	LayoutDCSL = colfile.DCSL
+)
+
+// NewColumnWriter starts a COF load into the dataset directory.
+func NewColumnWriter(fs *FileSystem, dataset string, schema *Schema, opts LoadOptions, stats *TaskStats) (*ColumnWriter, error) {
+	return core.NewWriter(fs, dataset, schema, opts, stats)
+}
+
+// SetColumns pushes a column projection into CIF for a job — the paper's
+// ColumnInputFormat.setColumns.
+func SetColumns(conf *JobConf, columns ...string) { core.SetColumns(conf, columns...) }
+
+// SetLazy selects lazy record construction for a CIF job.
+func SetLazy(conf *JobConf, lazy bool) { core.SetLazy(conf, lazy) }
+
+// ReadDatasetSchema returns a CIF dataset's schema.
+func ReadDatasetSchema(fs *FileSystem, dataset string) (*Schema, error) {
+	return core.ReadSchema(fs, dataset)
+}
+
+// AddColumn appends a derived column to an existing CIF dataset — cheap
+// schema evolution, one new file per split-directory (Section 4.3).
+func AddColumn(fs *FileSystem, dataset, name string, colSchema *Schema, layout ColumnOptions, inputCols []string, compute func(rec Record) (any, error), stats *TaskStats) error {
+	return core.AddColumn(fs, dataset, name, colSchema, layout, inputCols, compute, stats)
+}
+
+// LoadDataset converts any InputFormat-readable dataset into a CIF dataset.
+func LoadDataset(fs *FileSystem, in InputFormat, conf *JobConf, schema *Schema, dest string, opts LoadOptions, stats *TaskStats) (int64, error) {
+	return core.Load(fs, in, conf, schema, dest, opts, stats)
+}
+
+// Workload generators.
+type (
+	// CrawlOptions parameterizes the intranet-crawl generator.
+	CrawlOptions = workload.CrawlOptions
+	// Crawl generates URLInfo records (the paper's Figure 2 schema).
+	Crawl = workload.Crawl
+	// Synthetic generates the Section 6.2 microbenchmark records.
+	Synthetic = workload.Synthetic
+)
+
+// NewCrawl returns a crawl-dataset generator.
+func NewCrawl(opts CrawlOptions) *Crawl { return workload.NewCrawl(opts) }
+
+// NewSynthetic returns the synthetic-dataset generator.
+func NewSynthetic(seed int64) *Synthetic { return workload.NewSynthetic(seed) }
+
+// Experiments.
+type (
+	// ExperimentConfig controls experiment scale, seed, and output.
+	ExperimentConfig = bench.Config
+)
+
+// Experiment results, re-exported for programmatic use.
+type (
+	Figure7Result    = bench.Figure7Result
+	Table1Result     = bench.Table1Result
+	ColocationResult = bench.ColocationResult
+	Figure8Result    = bench.Figure8Result
+	Figure9Result    = bench.Figure9Result
+	Table2Result     = bench.Table2Result
+	Figure10Result   = bench.Figure10Result
+	Figure11Result   = bench.Figure11Result
+)
+
+// DefaultExperimentConfig returns the standard experiment configuration;
+// set Out to receive formatted tables.
+func DefaultExperimentConfig(out io.Writer) ExperimentConfig {
+	cfg := bench.DefaultConfig()
+	cfg.Out = out
+	return cfg
+}
+
+// The experiment entry points regenerate the paper's tables and figures.
+func RunFigure7(cfg ExperimentConfig) (*Figure7Result, error)       { return bench.Figure7(cfg) }
+func RunTable1(cfg ExperimentConfig) (*Table1Result, error)         { return bench.Table1(cfg) }
+func RunColocation(cfg ExperimentConfig) (*ColocationResult, error) { return bench.Colocation(cfg) }
+func RunFigure8(cfg ExperimentConfig) (*Figure8Result, error)       { return bench.Figure8(cfg) }
+func RunFigure9(cfg ExperimentConfig) (*Figure9Result, error)       { return bench.Figure9(cfg) }
+func RunTable2(cfg ExperimentConfig) (*Table2Result, error)         { return bench.Table2(cfg) }
+func RunFigure10(cfg ExperimentConfig) (*Figure10Result, error)     { return bench.Figure10(cfg) }
+func RunFigure11(cfg ExperimentConfig) (*Figure11Result, error)     { return bench.Figure11(cfg) }
+
+// Ablation results for the design choices and for the paper's deferred
+// future work (re-replication after failures, split-granularity
+// parallelism).
+type (
+	SkipLevelsResult  = bench.SkipLevelsResult
+	ParallelismResult = bench.ParallelismResult
+	BlockSizeResult   = bench.BlockSizeResult
+	RecoveryResult    = bench.RecoveryResult
+)
+
+func RunAblationSkipLevels(cfg ExperimentConfig) (*SkipLevelsResult, error) {
+	return bench.AblationSkipLevels(cfg)
+}
+func RunAblationParallelism(cfg ExperimentConfig) (*ParallelismResult, error) {
+	return bench.AblationParallelism(cfg)
+}
+func RunAblationBlockSize(cfg ExperimentConfig) (*BlockSizeResult, error) {
+	return bench.AblationBlockSize(cfg)
+}
+func RunAblationRecovery(cfg ExperimentConfig) (*RecoveryResult, error) {
+	return bench.AblationRecovery(cfg)
+}

@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"testing"
+
+	"colmr/internal/workload"
+)
+
+// The tests below are the reproduction criteria: each asserts the *shape*
+// of a paper result — who wins, in what order, by roughly what factor —
+// at reduced scale. Absolute values are recorded in EXPERIMENTS.md.
+
+func testCfg(scale float64) Config {
+	return Config{Scale: scale, Seed: 2011}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	res, err := Figure7(testCfg(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := res.Get("TXT", "AllColumns").Seconds
+	seq := res.Get("SEQ", "AllColumns").Seconds
+
+	// "simply switching to a binary storage format can improve Hadoop's
+	// scan performance by 3x"
+	if r := txt / seq; r < 2 || r > 6 {
+		t.Errorf("TXT/SEQ = %.2fx, want ~3x (2-6)", r)
+	}
+
+	// "times for scanning a single integer, string, or map were 2.5x to
+	// 95x faster than SEQ" — the map column is the paper's low end.
+	for _, proj := range []string{"1 Integer", "1 String", "1 Map"} {
+		if r := seq / res.Get("CIF", proj).Seconds; r < 2.2 {
+			t.Errorf("SEQ/CIF[%s] = %.2fx, want > 2.2x", proj, r)
+		}
+	}
+	if r := seq / res.Get("CIF", "1 Integer").Seconds; r < 20 {
+		t.Errorf("SEQ/CIF[1 Integer] = %.2fx, want > 20x", r)
+	}
+
+	// "When scanning all the columns ... CIF took about 25% longer than
+	// SEQ" — allow 5%..100%.
+	if r := res.Get("CIF", "AllColumns").Seconds / seq; r < 1.02 || r > 2.2 {
+		t.Errorf("CIF/SEQ all-columns = %.2fx, want ~1.25x", r)
+	}
+
+	// "CIF was nearly 38x faster than the uncompressed RCFile" (1 int).
+	if r := res.Get("RCFile", "1 Integer").Seconds / res.Get("CIF", "1 Integer").Seconds; r < 5 {
+		t.Errorf("RCFile/CIF 1-int = %.2fx, want > 5x", r)
+	}
+	// "RCFile read 20x more bytes than CIF" (1 int) — allow > 5x.
+	if r := res.Get("RCFile", "1 Integer").ChargedGB / res.Get("CIF", "1 Integer").ChargedGB; r < 5 {
+		t.Errorf("RCFile/CIF 1-int bytes = %.2fx, want > 5x", r)
+	}
+	// CIF must beat the compressed RCFile too ("CIF was still faster in
+	// all cases").
+	for _, proj := range []string{"1 Integer", "1 String", "1 Map"} {
+		if res.Get("CIF", proj).Seconds >= res.Get("RCFile-comp", proj).Seconds {
+			t.Errorf("CIF[%s] not faster than compressed RCFile", proj)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(testCfg(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) Table1Row { return res.Get(name) }
+
+	// Ordering of the SEQ family: compressed variants beat uncompressed.
+	if !(get("SEQ-record").MapTime < get("SEQ-uncomp").MapTime) {
+		t.Error("SEQ-record should beat SEQ-uncomp")
+	}
+	if !(get("SEQ-custom").MapTime <= get("SEQ-record").MapTime*1.1) {
+		t.Error("SEQ-custom should be fastest SEQ variant (within 10%)")
+	}
+
+	// RCFile beats SEQ-custom modestly; compressed RCFile more.
+	if get("RCFile").MapRatio < 1.0 {
+		t.Errorf("RCFile map ratio %.2f, want >= 1.0", get("RCFile").MapRatio)
+	}
+	if !(get("RCFile-comp").MapTime < get("RCFile").MapTime) {
+		t.Error("RCFile-comp should beat RCFile")
+	}
+
+	// The CIF family is an order of magnitude beyond RCFile-comp.
+	for _, v := range []string{"CIF", "CIF-ZLIB", "CIF-LZO", "CIF-SL", "CIF-DCSL"} {
+		if r := get(v).MapRatio; r < 15 {
+			t.Errorf("%s map speedup %.1fx, want > 15x (paper: 59-108x)", v, r)
+		}
+	}
+
+	// CIF-SL beats plain CIF (lazy construction), CIF-DCSL best overall.
+	if !(get("CIF-SL").MapTime < get("CIF").MapTime) {
+		t.Error("CIF-SL should beat CIF")
+	}
+	best := get("CIF-DCSL").MapTime
+	for _, v := range []string{"SEQ-uncomp", "SEQ-record", "SEQ-block", "SEQ-custom", "RCFile", "RCFile-comp", "CIF", "CIF-ZLIB", "CIF-LZO", "CIF-SL"} {
+		if get(v).MapTime < best {
+			t.Errorf("CIF-DCSL (%.2fs) not the best map time (%s = %.2fs)", best, v, get(v).MapTime)
+		}
+	}
+
+	// Bytes read ordering: compression and skip lists reduce CIF's reads.
+	if !(get("CIF-ZLIB").DataReadGB < get("CIF").DataReadGB) {
+		t.Error("CIF-ZLIB should read fewer bytes than CIF")
+	}
+	if !(get("CIF-LZO").DataReadGB < get("CIF").DataReadGB) {
+		t.Error("CIF-LZO should read fewer bytes than CIF")
+	}
+	if !(get("CIF-DCSL").DataReadGB < get("CIF").DataReadGB) {
+		t.Error("CIF-DCSL should read fewer bytes than CIF")
+	}
+	// All CIF variants read a tiny fraction of what SEQ reads (the paper:
+	// 6400 GB -> 36..96 GB).
+	if r := get("SEQ-uncomp").DataReadGB / get("CIF").DataReadGB; r < 10 {
+		t.Errorf("SEQ-uncomp/CIF bytes = %.1fx, want > 10x", r)
+	}
+
+	// Total time improves by over an order of magnitude for the best CIF.
+	if r := get("CIF-DCSL").TotalRatio; r < 5 {
+		t.Errorf("CIF-DCSL total speedup %.1fx, want > 5x (paper: 12.8x)", r)
+	}
+}
+
+func TestColocationShape(t *testing.T) {
+	res, err := Colocation(testCfg(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteFractionCPP != 0 {
+		t.Errorf("CPP remote fraction = %.2f, want 0", res.RemoteFractionCPP)
+	}
+	if res.RemoteFractionDefault < 0.2 {
+		t.Errorf("default-placement remote fraction = %.2f, want substantial", res.RemoteFractionDefault)
+	}
+	// Paper: 5.1x. Accept > 1.8x as shape-preserving.
+	if res.Speedup < 1.8 {
+		t.Errorf("CPP speedup = %.2fx, want > 1.8x", res.Speedup)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	res, err := Figure8(testCfg(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []workload.TypedKind{workload.TypedInts, workload.TypedDoubles, workload.TypedMaps} {
+		// Bandwidth decreases as the typed fraction grows.
+		prev := res.Get(kind, 0).BoxedMBps
+		for _, f := range Fig8Fractions[1:] {
+			cur := res.Get(kind, f).BoxedMBps
+			if cur > prev*1.05 {
+				t.Errorf("%v boxed bandwidth rose from %.0f to %.0f at f=%.1f", kind, prev, cur, f)
+			}
+			prev = cur
+		}
+		// The view (C++) path is strictly faster at full typed fraction.
+		if res.Get(kind, 1.0).ViewMBps <= res.Get(kind, 1.0).BoxedMBps {
+			t.Errorf("%v view path not faster than boxed at f=1", kind)
+		}
+	}
+	// The paper's headline: boxed map decoding can drop below a SATA
+	// disk's bandwidth (~75 MB/s) past f = 60%.
+	if bw := res.Get(workload.TypedMaps, 0.6).BoxedMBps; bw >= 90 {
+		t.Errorf("boxed maps at f=0.6 = %.0f MB/s, want < 90", bw)
+	}
+	// Ints and doubles stay well above it.
+	if bw := res.Get(workload.TypedInts, 1.0).BoxedMBps; bw < 100 {
+		t.Errorf("boxed ints at f=1 = %.0f MB/s, want > 100", bw)
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	res, err := Figure9(testCfg(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger row groups eliminate more I/O on a 1-integer scan.
+	b1 := res.Get("1M RCFile", "1 Integer").ChargedGB
+	b4 := res.Get("4M RCFile", "1 Integer").ChargedGB
+	b16 := res.Get("16M RCFile", "1 Integer").ChargedGB
+	cif := res.Get("CIF", "1 Integer").ChargedGB
+	if !(b1 > b4 && b4 > b16) {
+		t.Errorf("row-group I/O not monotone: 1M=%.2f 4M=%.2f 16M=%.2f GB", b1, b4, b16)
+	}
+	if !(cif < b16/3) {
+		t.Errorf("CIF 1-int bytes %.2f GB not ≪ 16M RCFile %.2f GB", cif, b16)
+	}
+	// And CIF is fastest on every projected scan.
+	for _, proj := range []string{"1 Integer", "1 String", "1 Map", "1 String+1 Map"} {
+		for _, rg := range []string{"1M RCFile", "4M RCFile", "16M RCFile"} {
+			if res.Get("CIF", proj).Seconds > res.Get(rg, proj).Seconds {
+				t.Errorf("CIF slower than %s on %s", rg, proj)
+			}
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2(testCfg(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cif := res.Get("CIF").Minutes
+	cifSL := res.Get("CIF-SL").Minutes
+	rc := res.Get("RCFile").Minutes
+	// Skip lists add minor overhead (paper: 89 -> 93 min, ~4.5%).
+	if cifSL < cif {
+		t.Errorf("CIF-SL load (%.1f) cheaper than CIF (%.1f)?", cifSL, cif)
+	}
+	if cifSL > cif*1.3 {
+		t.Errorf("CIF-SL load overhead %.0f%%, want minor (< 30%%)", 100*(cifSL/cif-1))
+	}
+	// CIF loads cost about the same as RCFile loads (paper: 89 vs 89).
+	if r := cif / rc; r < 0.5 || r > 2 {
+		t.Errorf("CIF/RCFile load ratio %.2f, want within 2x", r)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	res, err := Figure10(testCfg(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At low selectivity CIF-SL wins.
+	if !(res.Get("CIF-SL", 0).Seconds < res.Get("CIF", 0).Seconds) {
+		t.Errorf("CIF-SL at 0%% (%.1f) not faster than CIF (%.1f)",
+			res.Get("CIF-SL", 0).Seconds, res.Get("CIF", 0).Seconds)
+	}
+	// They converge at 100% (within 15%).
+	a, b := res.Get("CIF-SL", 1).Seconds, res.Get("CIF", 1).Seconds
+	if r := a / b; r < 0.85 || r > 1.15 {
+		t.Errorf("CIF-SL/CIF at 100%% = %.2f, want ~1", r)
+	}
+	// CIF-SL's advantage shrinks as selectivity rises.
+	gapLow := res.Get("CIF", 0).Seconds - res.Get("CIF-SL", 0).Seconds
+	gapHigh := res.Get("CIF", 1).Seconds - res.Get("CIF-SL", 1).Seconds
+	if gapLow <= gapHigh {
+		t.Errorf("skip-list benefit did not shrink with selectivity: %.1f vs %.1f", gapLow, gapHigh)
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	res, err := Figure11(testCfg(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RCFile single-column bandwidth degrades as records widen; CIF's
+	// stays roughly stable.
+	rc20 := res.Get("RCFile_1", 20).MBps
+	rc80 := res.Get("RCFile_1", 80).MBps
+	if !(rc80 < rc20*0.8) {
+		t.Errorf("RCFile_1 bandwidth %.1f -> %.1f MB/s; want clear degradation", rc20, rc80)
+	}
+	cif20 := res.Get("CIF_1", 20).MBps
+	cif80 := res.Get("CIF_1", 80).MBps
+	if r := cif20 / cif80; r < 0.6 || r > 1.7 {
+		t.Errorf("CIF_1 bandwidth %.1f -> %.1f MB/s; want roughly stable", cif20, cif80)
+	}
+	for _, cols := range Fig11Widths {
+		// Projecting a small number of columns: CIF beats RCFile.
+		if !(res.Get("CIF_1", cols).MBps > res.Get("RCFile_1", cols).MBps) {
+			t.Errorf("%d cols: CIF_1 not faster than RCFile_1", cols)
+		}
+		// Scanning everything: SEQ beats CIF (column-storage overhead).
+		if !(res.Get("SEQ", cols).MBps > res.Get("CIF_all", cols).MBps) {
+			t.Errorf("%d cols: SEQ not faster than CIF_all", cols)
+		}
+	}
+}

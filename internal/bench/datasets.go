@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"colmr/internal/colfile"
+	"colmr/internal/core"
+	"colmr/internal/formats/rcfile"
+	"colmr/internal/formats/seq"
+	"colmr/internal/formats/txt"
+	"colmr/internal/hdfs"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+)
+
+// generator is the common shape of the workload generators.
+type generator interface {
+	Schema() *serde.Schema
+	Record(i int64) *serde.GenericRecord
+}
+
+// writeSEQ materializes n generated records as a SequenceFile and returns
+// its size. Load-side stats may be nil.
+func writeSEQ(fs *hdfs.FileSystem, path string, gen generator, n int64, opts seq.Options, stats *sim.TaskStats) (int64, error) {
+	f, err := fs.Create(path, hdfs.AnyNode)
+	if err != nil {
+		return 0, err
+	}
+	if stats != nil {
+		f.SetStats(&stats.IO)
+	}
+	var cpu *sim.CPUStats
+	if stats != nil {
+		cpu = &stats.CPU
+	}
+	w, err := seq.NewWriter(f, path, gen.Schema(), opts, cpu)
+	if err != nil {
+		return 0, err
+	}
+	for i := int64(0); i < n; i++ {
+		if err := w.Append(gen.Record(i)); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return fs.TotalSize(path), nil
+}
+
+// writeTXT materializes n generated records as delimited text.
+func writeTXT(fs *hdfs.FileSystem, path string, gen generator, n int64) (int64, error) {
+	f, err := fs.Create(path, hdfs.AnyNode)
+	if err != nil {
+		return 0, err
+	}
+	w := txt.NewWriter(f)
+	for i := int64(0); i < n; i++ {
+		if err := w.Write(gen.Record(i)); err != nil {
+			return 0, err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return fs.TotalSize(path), nil
+}
+
+// writeRC materializes n generated records as an RCFile.
+func writeRC(fs *hdfs.FileSystem, path string, gen generator, n int64, opts rcfile.Options, stats *sim.TaskStats) (int64, error) {
+	f, err := fs.Create(path, hdfs.AnyNode)
+	if err != nil {
+		return 0, err
+	}
+	if stats != nil {
+		f.SetStats(&stats.IO)
+	}
+	var cpu *sim.CPUStats
+	if stats != nil {
+		cpu = &stats.CPU
+	}
+	w, err := rcfile.NewWriter(f, path, gen.Schema(), opts, cpu)
+	if err != nil {
+		return 0, err
+	}
+	for i := int64(0); i < n; i++ {
+		if err := w.Append(gen.Record(i)); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return fs.TotalSize(path), nil
+}
+
+// writeCIF materializes n generated records as a CIF dataset directory.
+func writeCIF(fs *hdfs.FileSystem, dir string, gen generator, n int64, opts core.LoadOptions, stats *sim.TaskStats) (int64, error) {
+	w, err := core.NewWriter(fs, dir, gen.Schema(), opts, stats)
+	if err != nil {
+		return 0, err
+	}
+	for i := int64(0); i < n; i++ {
+		if err := w.Append(gen.Record(i)); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return fs.TreeSize(dir), nil
+}
+
+// cifVariant names a metadata-column layout from Table 1 and resolves it
+// to load options plus the lazy/eager choice.
+type cifVariant struct {
+	name   string
+	layout colfile.Options
+	lazy   bool
+}
+
+// cifVariants returns the paper's five metadata-column layouts
+// (Section 6.3): default, ZLIB/LZO compressed blocks, skip list, and
+// dictionary compressed skip list.
+func cifVariants() []cifVariant {
+	return []cifVariant{
+		{name: "CIF", layout: colfile.Options{Layout: colfile.Plain}, lazy: false},
+		{name: "CIF-ZLIB", layout: colfile.Options{Layout: colfile.Block, Codec: "zlib"}, lazy: false},
+		{name: "CIF-LZO", layout: colfile.Options{Layout: colfile.Block, Codec: "lzo"}, lazy: false},
+		{name: "CIF-SL", layout: colfile.Options{Layout: colfile.SkipList}, lazy: true},
+		{name: "CIF-DCSL", layout: colfile.Options{Layout: colfile.DCSL}, lazy: true},
+	}
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+	"colmr/internal/workload"
+)
+
+// Figure8Point is one (type, fraction) point of the deserialization
+// microbenchmark: read bandwidth through the boxed (Java-analogue) and view
+// (C++-analogue) decode paths.
+type Figure8Point struct {
+	Kind     workload.TypedKind
+	Fraction float64
+	// BoxedMBps / ViewMBps are effective read bandwidths in MB/s.
+	BoxedMBps float64
+	ViewMBps  float64
+}
+
+// Figure8Result holds the bandwidth grid.
+type Figure8Result struct {
+	Points []Figure8Point
+}
+
+// Get returns the point for a kind and fraction.
+func (r *Figure8Result) Get(kind workload.TypedKind, f float64) Figure8Point {
+	for _, p := range r.Points {
+		if p.Kind == kind && p.Fraction == f {
+			return p
+		}
+	}
+	return Figure8Point{}
+}
+
+// Fig8Fractions are the typed-data fractions swept in Appendix B.1.
+var Fig8Fractions = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+
+// Figure8 reproduces Appendix B.1 (Figure 8): scan bandwidth over
+// memory-resident 1000-byte records as the fraction of typed data varies,
+// for integers, doubles, and maps, decoded boxed (per-value objects, the
+// Java path) and as views (no materialization, the C++ path). The paper's
+// headline: boxed map decoding drops below SATA disk bandwidth past f=60%.
+func Figure8(cfg Config) (*Figure8Result, error) {
+	n := cfg.records(2000)
+	model := sim.DefaultModel()
+	res := &Figure8Result{}
+
+	for _, kind := range []workload.TypedKind{workload.TypedInts, workload.TypedDoubles, workload.TypedMaps} {
+		for _, f := range Fig8Fractions {
+			gen := workload.NewTypedFrac(cfg.Seed, kind, f)
+			// Encode once (the file is memory-resident: no I/O charges,
+			// exactly as in the appendix, which warms the cache first).
+			var bufs [][]byte
+			var totalBytes int64
+			for i := int64(0); i < n; i++ {
+				enc, err := serde.EncodeRecord(gen.Record(i))
+				if err != nil {
+					return nil, err
+				}
+				bufs = append(bufs, enc)
+				totalBytes += int64(len(enc))
+			}
+
+			var boxed sim.CPUStats
+			for _, b := range bufs {
+				if _, err := serde.NewDecoder(b, &boxed).Record(gen.Schema()); err != nil {
+					return nil, err
+				}
+			}
+			var view sim.CPUStats
+			for _, b := range bufs {
+				if err := serde.NewDecoder(b, &view).Scan(gen.Schema()); err != nil {
+					return nil, err
+				}
+			}
+			res.Points = append(res.Points, Figure8Point{
+				Kind:      kind,
+				Fraction:  f,
+				BoxedMBps: mbps(float64(totalBytes) / model.CPUSeconds(boxed)),
+				ViewMBps:  mbps(float64(totalBytes) / model.ViewCPUSeconds(view)),
+			})
+		}
+	}
+
+	cfg.printf("Figure 8: deserialization read bandwidth (MB/s) vs fraction of typed data\n")
+	cfg.table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "f\tboxed ints\tboxed doubles\tboxed maps\tview ints\tview doubles\tview maps")
+		for _, f := range Fig8Fractions {
+			fmt.Fprintf(w, "%.1f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n", f,
+				res.Get(workload.TypedInts, f).BoxedMBps,
+				res.Get(workload.TypedDoubles, f).BoxedMBps,
+				res.Get(workload.TypedMaps, f).BoxedMBps,
+				res.Get(workload.TypedInts, f).ViewMBps,
+				res.Get(workload.TypedDoubles, f).ViewMBps,
+				res.Get(workload.TypedMaps, f).ViewMBps)
+		}
+	})
+	cfg.printf("\n")
+	return res, nil
+}

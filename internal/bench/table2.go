@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"colmr/internal/colfile"
+	"colmr/internal/core"
+	"colmr/internal/formats/rcfile"
+	"colmr/internal/formats/seq"
+	"colmr/internal/hdfs"
+	"colmr/internal/mapred"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+	"colmr/internal/workload"
+)
+
+// seqOptsNone is the plain SequenceFile configuration used as the
+// conversion source in Table 2 and the reference dataset elsewhere.
+func seqOptsNone() seq.Options { return seq.Options{Mode: seq.ModeNone} }
+
+// Table2Row is one conversion target of Table 2.
+type Table2Row struct {
+	Layout  string
+	Minutes float64
+}
+
+// Table2Result holds the load-time comparison.
+type Table2Result struct {
+	Rows        []Table2Row
+	ScaleFactor float64
+}
+
+// Get returns the row for a layout.
+func (r *Table2Result) Get(layout string) Table2Row {
+	for _, row := range r.Rows {
+		if row.Layout == layout {
+			return row
+		}
+	}
+	return Table2Row{}
+}
+
+// Table2 reproduces Appendix B.3: the time to convert the synthetic SEQ
+// dataset to CIF, CIF with skip lists, and RCFile. The paper's point is
+// that the skip-list double-buffering overhead is minor (89 vs 93 minutes)
+// and CIF loads cost about the same as RCFile loads.
+func Table2(cfg Config) (*Table2Result, error) {
+	n := cfg.records(60_000)
+	gen := workload.NewSynthetic(cfg.Seed)
+	cluster := sim.DefaultCluster()
+	model := sim.DefaultModelFor(cluster)
+
+	res := &Table2Result{}
+	convert := func(name string, do func(fs *hdfs.FileSystem, conf *mapred.JobConf, stats *sim.TaskStats) error) error {
+		fs := newFS(cluster, cfg.Seed, true)
+		seqBytes, err := writeSEQ(fs, "/t2/src.seq", gen, n, seqOptsNone(), nil)
+		if err != nil {
+			return err
+		}
+		k := float64(Figure7Target) / float64(seqBytes)
+		res.ScaleFactor = k
+		var stats sim.TaskStats
+		conf := &mapred.JobConf{InputPaths: []string{"/t2/src.seq"}}
+		if err := do(fs, conf, &stats); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		stats.Scale(k)
+		res.Rows = append(res.Rows, Table2Row{Layout: name, Minutes: model.LoadSeconds(stats) / 60})
+		return nil
+	}
+
+	schema := gen.Schema()
+	if err := convert("CIF", func(fs *hdfs.FileSystem, conf *mapred.JobConf, stats *sim.TaskStats) error {
+		_, err := core.Load(fs, &seq.InputFormat{}, conf, schema, "/t2/cif", core.LoadOptions{SplitRecords: n/8 + 1}, stats)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := convert("CIF-SL", func(fs *hdfs.FileSystem, conf *mapred.JobConf, stats *sim.TaskStats) error {
+		_, err := core.Load(fs, &seq.InputFormat{}, conf, schema, "/t2/cifsl", core.LoadOptions{
+			SplitRecords: n/8 + 1,
+			Default:      colfile.Options{Layout: colfile.SkipList},
+		}, stats)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := convert("RCFile", func(fs *hdfs.FileSystem, conf *mapred.JobConf, stats *sim.TaskStats) error {
+		in := &seq.InputFormat{}
+		splits, err := in.Splits(fs, conf)
+		if err != nil {
+			return err
+		}
+		f, err := fs.Create("/t2/out.rc", hdfs.AnyNode)
+		if err != nil {
+			return err
+		}
+		f.SetStats(&stats.IO)
+		w, err := rcfile.NewWriter(f, "/t2/out.rc", schema, rcfile.Options{RowGroupBytes: 4 << 20}, &stats.CPU)
+		if err != nil {
+			return err
+		}
+		for _, sp := range splits {
+			rr, err := in.Open(fs, conf, sp, hdfs.AnyNode, stats)
+			if err != nil {
+				return err
+			}
+			for {
+				_, v, ok, err := rr.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				if err := w.Append(v.(*serde.GenericRecord)); err != nil {
+					return err
+				}
+			}
+			rr.Close()
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		return f.Close()
+	}); err != nil {
+		return nil, err
+	}
+
+	cfg.printf("Table 2: load times, SEQ -> target format (%d GB dataset)\n", Figure7Target/sim.GB)
+	cfg.table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "layout\ttime (min)")
+		for _, row := range res.Rows {
+			fmt.Fprintf(w, "%s\t%.1f\n", row.Layout, row.Minutes)
+		}
+	})
+	cfg.printf("\n")
+	return res, nil
+}

@@ -1,0 +1,162 @@
+package colfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+func newTestStream(data []byte, chunk int) *stream {
+	return newStream(bytes.NewReader(data), chunk)
+}
+
+func TestStreamSequentialRead(t *testing.T) {
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	s := newTestStream(data, 64)
+	for off := 0; off < 1000; off += 100 {
+		b, err := s.readFull(100)
+		if err != nil {
+			t.Fatalf("readFull at %d: %v", off, err)
+		}
+		for i, c := range b {
+			if c != byte(off+i) {
+				t.Fatalf("byte %d = %d, want %d", off+i, c, byte(off+i))
+			}
+		}
+	}
+	if _, err := s.readFull(1); err != io.ErrUnexpectedEOF {
+		t.Errorf("read past end = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestStreamSeekWithinAndBeyondWindow(t *testing.T) {
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	s := newTestStream(data, 256)
+	if _, err := s.readFull(10); err != nil {
+		t.Fatal(err)
+	}
+	// Seek backward inside the buffered window: free.
+	if err := s.seekTo(2); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.readFull(1)
+	if b[0] != 2 {
+		t.Errorf("after in-window seek, byte = %d, want 2", b[0])
+	}
+	// Seek far forward, past the window.
+	if err := s.seekTo(4000); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.readFull(1)
+	if err != nil || b[0] != byte(4000%251) {
+		t.Errorf("after long seek, byte = %d (%v), want %d", b[0], err, byte(4000%251))
+	}
+	// Out-of-range seeks fail.
+	if err := s.seekTo(-1); err == nil {
+		t.Error("negative seek accepted")
+	}
+	if err := s.seekTo(5000); err == nil {
+		t.Error("seek past dataEnd accepted")
+	}
+	if err := s.skip(-5); err == nil {
+		t.Error("negative skip accepted")
+	}
+}
+
+func TestStreamReadUvarintAcrossRefills(t *testing.T) {
+	var data []byte
+	values := []uint64{0, 1, 127, 128, 1 << 20, 1<<63 - 1}
+	for _, v := range values {
+		data = binary.AppendUvarint(data, v)
+	}
+	// Chunk of 1 byte forces a refill between every varint byte.
+	s := newTestStream(data, 1)
+	for _, want := range values {
+		got, err := s.readUvarint()
+		if err != nil {
+			t.Fatalf("readUvarint: %v", err)
+		}
+		if got != want {
+			t.Errorf("readUvarint = %d, want %d", got, want)
+		}
+	}
+	if _, err := s.readUvarint(); err == nil {
+		t.Error("readUvarint past end succeeded")
+	}
+}
+
+func TestStreamDecodeRetryGrowsWindow(t *testing.T) {
+	data := make([]byte, 500)
+	for i := range data {
+		data[i] = 0xAB
+	}
+	s := newTestStream(data, 16)
+	calls := 0
+	err := s.decodeRetry(func(buf []byte) (int, error) {
+		calls++
+		if len(buf) < 300 {
+			return 0, io.ErrUnexpectedEOF // ask for more
+		}
+		return 300, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls < 2 {
+		t.Errorf("decodeRetry called fn %d times; expected retries", calls)
+	}
+	if s.pos() != 300 {
+		t.Errorf("pos = %d, want 300", s.pos())
+	}
+	// A failure that more bytes cannot cure surfaces the fn's error.
+	err = s.decodeRetry(func(buf []byte) (int, error) {
+		return 0, io.ErrUnexpectedEOF
+	})
+	if err == nil {
+		t.Error("incurable decode error suppressed")
+	}
+	// At end of data, decodeRetry reports EOF cleanly.
+	if err := s.seekTo(500); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.decodeRetry(func(buf []byte) (int, error) { return 0, nil }); err != io.ErrUnexpectedEOF {
+		t.Errorf("decodeRetry at EOF = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestStreamRefillHookReportsBytes(t *testing.T) {
+	data := make([]byte, 1024)
+	s := newTestStream(data, 256)
+	var total int
+	s.onRefill = func(n int) { total += n }
+	for i := 0; i < 4; i++ {
+		if _, err := s.readFull(256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != 1024 {
+		t.Errorf("refill hook saw %d bytes, want 1024", total)
+	}
+}
+
+func TestStreamDataEndExcludesFooter(t *testing.T) {
+	data := make([]byte, 100)
+	s := newTestStream(data, 32)
+	s.dataEnd = 80
+	if _, err := s.readFull(80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.readFull(1); err != io.ErrUnexpectedEOF {
+		t.Errorf("read into footer region = %v, want ErrUnexpectedEOF", err)
+	}
+	if got := s.remainingInFile(); got != 0 {
+		t.Errorf("remainingInFile = %d, want 0", got)
+	}
+}

@@ -1,0 +1,351 @@
+package colfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"colmr/internal/compress"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+)
+
+// NewWriter creates a column file writer for one column of the given value
+// schema. Serialization work is charged to stats as raw byte movement;
+// compression work is charged per codec.
+func NewWriter(w io.Writer, schema *serde.Schema, opts Options, stats *sim.CPUStats) (Writer, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Layout == DCSL && schema.Kind != serde.KindMap {
+		return nil, fmt.Errorf("colfile: DCSL layout requires a map column, got %s", schema.Kind)
+	}
+	h := header{layout: opts.Layout, levels: opts.Levels, codec: opts.Codec}
+	if opts.Layout == Plain || opts.Layout == SkipList || opts.Layout == DCSL {
+		h.codec = "none"
+	}
+	if opts.Layout == Plain || opts.Layout == Block {
+		h.levels = nil
+	}
+	if _, err := w.Write(appendHeader(nil, h)); err != nil {
+		return nil, err
+	}
+	switch opts.Layout {
+	case Plain:
+		return &plainWriter{w: w, schema: schema, stats: stats}, nil
+	case Block:
+		codec, err := compress.ByName(opts.Codec)
+		if err != nil {
+			return nil, err
+		}
+		return &blockWriter{w: w, schema: schema, stats: stats, codec: codec, blockBytes: opts.BlockBytes}, nil
+	case SkipList, DCSL:
+		return &slWriter{
+			w:      w,
+			schema: schema,
+			stats:  stats,
+			levels: opts.Levels,
+			dcsl:   opts.Layout == DCSL,
+		}, nil
+	}
+	return nil, fmt.Errorf("colfile: unsupported layout %v", opts.Layout)
+}
+
+// chargeEncode prices serialization on the load path as raw byte movement.
+func chargeEncode(stats *sim.CPUStats, n int) {
+	if stats != nil {
+		stats.RawBytes += int64(n)
+	}
+}
+
+// plainWriter appends concatenated self-delimiting values.
+type plainWriter struct {
+	w       io.Writer
+	schema  *serde.Schema
+	stats   *sim.CPUStats
+	count   int64
+	scratch []byte
+}
+
+func (p *plainWriter) Append(v any) error {
+	buf, err := serde.AppendValue(p.scratch[:0], p.schema, v)
+	if err != nil {
+		return err
+	}
+	p.scratch = buf
+	chargeEncode(p.stats, len(buf))
+	if _, err := p.w.Write(buf); err != nil {
+		return err
+	}
+	p.count++
+	return nil
+}
+
+func (p *plainWriter) Count() int64 { return p.count }
+
+func (p *plainWriter) Close() error {
+	_, err := p.w.Write(appendFooter(nil, p.count))
+	return err
+}
+
+// blockWriter accumulates encoded values and emits compressed frames.
+type blockWriter struct {
+	w          io.Writer
+	schema     *serde.Schema
+	stats      *sim.CPUStats
+	codec      compress.Codec
+	blockBytes int
+
+	raw     []byte
+	records int
+	count   int64
+}
+
+func (b *blockWriter) Append(v any) error {
+	buf, err := serde.AppendValue(b.raw, b.schema, v)
+	if err != nil {
+		return err
+	}
+	chargeEncode(b.stats, len(buf)-len(b.raw))
+	b.raw = buf
+	b.records++
+	b.count++
+	if len(b.raw) >= b.blockBytes {
+		return b.flush()
+	}
+	return nil
+}
+
+func (b *blockWriter) flush() error {
+	if b.records == 0 {
+		return nil
+	}
+	frame, err := compress.AppendFrame(nil, b.codec, b.records, b.raw, b.stats)
+	if err != nil {
+		return err
+	}
+	if _, err := b.w.Write(frame); err != nil {
+		return err
+	}
+	b.raw = b.raw[:0]
+	b.records = 0
+	return nil
+}
+
+func (b *blockWriter) Count() int64 { return b.count }
+
+func (b *blockWriter) Close() error {
+	if err := b.flush(); err != nil {
+		return err
+	}
+	_, err := b.w.Write(appendFooter(nil, b.count))
+	return err
+}
+
+// slWriter builds skip-list (and dictionary compressed skip-list) files.
+// HDFS is append-only, so skip pointers cannot be patched in after the
+// fact: the writer double-buffers one largest-level window of values,
+// computes every pointer's span, and only then emits bytes — the same
+// double-buffering the paper describes in Appendix B.3, with the largest
+// skip bounded by memory.
+type slWriter struct {
+	w      io.Writer
+	schema *serde.Schema
+	stats  *sim.CPUStats
+	levels []int
+	dcsl   bool
+
+	// window holds the encoded (SkipList) or still-boxed (DCSL) values of
+	// the current largest-level window.
+	encoded [][]byte
+	boxed   []any
+	count   int64
+}
+
+func (s *slWriter) maxLevel() int { return s.levels[0] }
+func (s *slWriter) minLevel() int { return s.levels[len(s.levels)-1] }
+
+func (s *slWriter) Append(v any) error {
+	if s.dcsl {
+		if _, ok := v.(map[string]any); !ok {
+			return fmt.Errorf("colfile: DCSL append: value %T is not a map", v)
+		}
+		s.boxed = append(s.boxed, v)
+	} else {
+		buf, err := serde.AppendValue(nil, s.schema, v)
+		if err != nil {
+			return err
+		}
+		chargeEncode(s.stats, len(buf))
+		s.encoded = append(s.encoded, prefixed(buf))
+	}
+	s.count++
+	if s.windowLen() == s.maxLevel() {
+		return s.flush()
+	}
+	return nil
+}
+
+// prefixed length-prefixes one encoded value. Skip-list files carry
+// per-value lengths so that skipping a single record costs a length read
+// and a seek instead of a full decode — the property that lets CIF-SL's
+// map time collapse to near-pure I/O in Table 1.
+func prefixed(enc []byte) []byte {
+	out := binary.AppendUvarint(make([]byte, 0, len(enc)+3), uint64(len(enc)))
+	return append(out, enc...)
+}
+
+func (s *slWriter) windowLen() int {
+	if s.dcsl {
+		return len(s.boxed)
+	}
+	return len(s.encoded)
+}
+
+func (s *slWriter) Count() int64 { return s.count }
+
+func (s *slWriter) Close() error {
+	if err := s.flush(); err != nil {
+		return err
+	}
+	_, err := s.w.Write(appendFooter(nil, s.count))
+	return err
+}
+
+// flush emits the buffered window: skip groups, the window dictionary
+// (DCSL), and values.
+func (s *slWriter) flush() error {
+	w := s.windowLen()
+	if w == 0 {
+		return nil
+	}
+	windowBase := s.count - int64(w)
+
+	// DCSL: build the window dictionary and re-encode values with
+	// dictionary-compressed keys.
+	var dictBlob []byte
+	enc := s.encoded
+	if s.dcsl {
+		dict := compress.NewDictionary()
+		for _, v := range s.boxed {
+			for _, k := range mapKeysSorted(v.(map[string]any)) {
+				dict.Add(k)
+			}
+		}
+		enc = make([][]byte, w)
+		var rawTotal int64
+		for i, v := range s.boxed {
+			b, err := appendDictMap(nil, dict, s.schema, v.(map[string]any))
+			if err != nil {
+				return err
+			}
+			enc[i] = prefixed(b)
+			rawTotal += int64(len(b))
+			chargeEncode(s.stats, len(b))
+		}
+		compress.ChargeComp(s.stats, "dict", rawTotal)
+		body := dict.Append(nil)
+		dictBlob = binary.AppendUvarint(nil, uint64(len(body)))
+		dictBlob = append(dictBlob, body...)
+	}
+
+	// Entity geometry: entityStart[i] is the window-relative offset of
+	// record i's entity (group, then dictionary, then value);
+	// entityStart[w] is the window's total size, where the next window's
+	// first group begins. Skip spans are measured from valueBase — after
+	// the group AND the window dictionary — because a DCSL reader always
+	// loads the dictionary before following a pointer (the dictionary is
+	// the only part of a block that must be read to enter it).
+	entityStart := make([]int64, w+1)
+	valueBase := make([]int64, w)
+	cur := int64(0)
+	for i := 0; i < w; i++ {
+		rec := windowBase + int64(i)
+		entityStart[i] = cur
+		if rec%int64(s.minLevel()) == 0 {
+			cur += int64(groupPtrSize * levelsAt(s.levels, rec))
+		}
+		if s.dcsl && rec%int64(s.maxLevel()) == 0 {
+			cur += int64(len(dictBlob))
+		}
+		valueBase[i] = cur
+		cur += int64(len(enc[i]))
+	}
+	entityStart[w] = cur
+
+	// Double-buffering cost: the window's bytes are staged once more
+	// before hitting the writer.
+	chargeEncode(s.stats, int(cur))
+
+	out := make([]byte, 0, cur)
+	for i := 0; i < w; i++ {
+		rec := windowBase + int64(i)
+		if rec%int64(s.minLevel()) == 0 {
+			for _, l := range s.levels {
+				if rec%int64(l) != 0 {
+					continue
+				}
+				end := i + l
+				if end > w {
+					end = w
+				}
+				span := entityStart[end] - valueBase[i]
+				if span < 0 || span > 0xFFFFFFFF {
+					return fmt.Errorf("colfile: skip span %d out of range at record %d level %d", span, rec, l)
+				}
+				out = binary.LittleEndian.AppendUint32(out, uint32(span))
+			}
+		}
+		if s.dcsl && rec%int64(s.maxLevel()) == 0 {
+			out = append(out, dictBlob...)
+		}
+		out = append(out, enc[i]...)
+	}
+	if int64(len(out)) != cur {
+		return fmt.Errorf("colfile: window geometry mismatch: wrote %d, computed %d", len(out), cur)
+	}
+	if _, err := s.w.Write(out); err != nil {
+		return err
+	}
+	s.encoded = s.encoded[:0]
+	s.boxed = s.boxed[:0]
+	return nil
+}
+
+// appendDictMap encodes a map value with dictionary-compressed keys:
+// uvarint count, then (uvarint keyID, encoded element) pairs in sorted key
+// order.
+func appendDictMap(dst []byte, dict *compress.Dictionary, schema *serde.Schema, m map[string]any) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(m)))
+	var err error
+	for _, k := range mapKeysSorted(m) {
+		id, ok := dict.ID(k)
+		if !ok {
+			return dst, fmt.Errorf("colfile: dict missing key %q", k)
+		}
+		dst = binary.AppendUvarint(dst, uint64(id))
+		dst, err = serde.AppendValue(dst, schema.Elem, m[k])
+		if err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+func mapKeysSorted(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Insertion sort: key universes are small by construction.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,88 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Dictionary maps a limited universe of strings to small integer ids, the
+// core of the paper's dictionary compressed skip list scheme (Section 5.3):
+// map keys are drawn from a small set (HTTP header names, annotation
+// labels), so replacing each key string with a varint id compresses well
+// and decodes with a single slice lookup — far cheaper than LZO or ZLIB.
+type Dictionary struct {
+	ids     map[string]uint32
+	strings []string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{ids: make(map[string]uint32)}
+}
+
+// Add interns s and returns its id. Adding an existing string returns the
+// existing id.
+func (d *Dictionary) Add(s string) uint32 {
+	if id, ok := d.ids[s]; ok {
+		return id
+	}
+	id := uint32(len(d.strings))
+	d.ids[s] = id
+	d.strings = append(d.strings, s)
+	return id
+}
+
+// Lookup returns the string for id.
+func (d *Dictionary) Lookup(id uint32) (string, error) {
+	if int(id) >= len(d.strings) {
+		return "", fmt.Errorf("compress: dict: id %d out of range (%d entries)", id, len(d.strings))
+	}
+	return d.strings[id], nil
+}
+
+// ID returns the id for s, if present.
+func (d *Dictionary) ID(s string) (uint32, bool) {
+	id, ok := d.ids[s]
+	return id, ok
+}
+
+// Len returns the number of interned strings.
+func (d *Dictionary) Len() int { return len(d.strings) }
+
+// Append serializes the dictionary: uvarint count, then length-prefixed
+// strings in id order.
+func (d *Dictionary) Append(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(d.strings)))
+	for _, s := range d.strings {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// ParseDictionary deserializes a dictionary from buf, returning it and the
+// number of bytes consumed.
+func ParseDictionary(buf []byte) (*Dictionary, int, error) {
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("compress: dict: truncated count")
+	}
+	pos := n
+	if count > uint64(len(buf)) {
+		return nil, 0, fmt.Errorf("compress: dict: count %d exceeds buffer", count)
+	}
+	d := NewDictionary()
+	for i := uint64(0); i < count; i++ {
+		l, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("compress: dict: truncated entry %d", i)
+		}
+		pos += n
+		if uint64(len(buf)-pos) < l {
+			return nil, 0, fmt.Errorf("compress: dict: entry %d overruns buffer", i)
+		}
+		d.Add(string(buf[pos : pos+int(l)]))
+		pos += int(l)
+	}
+	return d, pos, nil
+}

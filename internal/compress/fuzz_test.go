@@ -1,0 +1,62 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Decompressors consume on-disk bytes and must never panic or over-read.
+
+func FuzzLZODecompress(f *testing.F) {
+	good, _ := LZO{}.Compress(nil, []byte("hello hello hello hello world"))
+	f.Add(good, 29)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0xF0, 0xFF}, 100)
+	f.Fuzz(func(t *testing.T, data []byte, rawLen int) {
+		if rawLen < 0 || rawLen > 1<<20 {
+			return
+		}
+		_, _ = LZO{}.Decompress(nil, data, rawLen) // must not panic
+	})
+}
+
+func FuzzLZORoundTrip(f *testing.F) {
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Add(bytes.Repeat([]byte{0}, 1000))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		comp, err := LZO{}.Compress(nil, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := LZO{}.Decompress(nil, comp, len(data))
+		if err != nil {
+			t.Fatalf("decompress own output: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+func FuzzParseDictionary(f *testing.F) {
+	d := NewDictionary()
+	d.Add("content-type")
+	d.Add("server")
+	f.Add(d.Append(nil))
+	f.Add([]byte{255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = ParseDictionary(data) // must not panic
+	})
+}
+
+// TestLZODecompressRandomGarbage is the deterministic complement.
+func TestLZODecompressRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 2000; i++ {
+		buf := make([]byte, rng.Intn(300))
+		rng.Read(buf)
+		_, _ = LZO{}.Decompress(nil, buf, rng.Intn(1000))
+	}
+}

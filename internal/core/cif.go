@@ -1,0 +1,393 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"colmr/internal/colfile"
+	"colmr/internal/hdfs"
+	"colmr/internal/mapred"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+)
+
+// SetColumns pushes a column projection into CIF for a job, the analogue of
+//
+//	ColumnInputFormat.setColumns(job, "url, metadata");
+//
+// from Section 4.2. Only the named columns' files will be opened.
+func SetColumns(conf *mapred.JobConf, columns ...string) {
+	conf.Set(ColumnsProp, strings.Join(columns, ","))
+}
+
+// SetLazy selects lazy record construction for a job (Section 5).
+func SetLazy(conf *mapred.JobConf, lazy bool) {
+	if lazy {
+		conf.Set(LazyProp, "true")
+	} else {
+		conf.Set(LazyProp, "false")
+	}
+}
+
+// Split is a CIF split: one or more whole split-directories.
+type Split struct {
+	Dirs []string
+	// Columns is the projection captured at split-generation time, used
+	// for locality ranking (only projected files matter).
+	Columns []string
+}
+
+// String implements mapred.Split.
+func (s *Split) String() string { return strings.Join(s.Dirs, ",") }
+
+// Hosts implements mapred.Split: nodes are ranked by how many of the
+// split's (projected) column-file bytes they hold locally. With the column
+// placement policy installed, the top candidates hold every block of every
+// file.
+func (s *Split) Hosts(fs *hdfs.FileSystem) []hdfs.NodeID {
+	local := map[hdfs.NodeID]int64{}
+	for _, dir := range s.Dirs {
+		for _, p := range s.files(fs, dir) {
+			locs, err := fs.BlockLocations(p)
+			if err != nil {
+				continue
+			}
+			size := fs.TotalSize(p)
+			nblocks := int64(len(locs))
+			if nblocks == 0 {
+				continue
+			}
+			per := size / nblocks
+			for _, nodes := range locs {
+				for _, n := range nodes {
+					local[n] += per
+				}
+			}
+		}
+	}
+	out := make([]hdfs.NodeID, 0, len(local))
+	for n := range local {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if local[out[i]] != local[out[j]] {
+			return local[out[i]] > local[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// files returns the column-file paths the split will read in dir.
+func (s *Split) files(fs *hdfs.FileSystem, dir string) []string {
+	if len(s.Columns) > 0 {
+		out := make([]string, len(s.Columns))
+		for i, c := range s.Columns {
+			out[i] = dir + "/" + c
+		}
+		return out
+	}
+	infos, err := fs.List(dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, fi := range infos {
+		if !fi.IsDir && fi.Name() != SchemaFile {
+			out = append(out, fi.Path)
+		}
+	}
+	return out
+}
+
+// InputFormat is CIF, the ColumnInputFormat.
+type InputFormat struct {
+	// DirsPerSplit assigns this many split-directories to one map task
+	// (Section 4.2: "CIF can actually assign one or more split-directories
+	// to a single split"). Default 1.
+	DirsPerSplit int
+}
+
+// Splits implements mapred.InputFormat.
+func (f *InputFormat) Splits(fs *hdfs.FileSystem, conf *mapred.JobConf) ([]mapred.Split, error) {
+	per := f.DirsPerSplit
+	if per < 1 {
+		per = 1
+	}
+	columns := projection(conf)
+	var out []mapred.Split
+	for _, dataset := range conf.InputPaths {
+		dirs, err := listSplitDirs(fs, dataset)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < len(dirs); i += per {
+			j := i + per
+			if j > len(dirs) {
+				j = len(dirs)
+			}
+			out = append(out, &Split{Dirs: dirs[i:j], Columns: columns})
+		}
+	}
+	return out, nil
+}
+
+func projection(conf *mapred.JobConf) []string {
+	raw := strings.TrimSpace(conf.Get(ColumnsProp))
+	if raw == "" {
+		return nil
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Open implements mapred.InputFormat.
+func (f *InputFormat) Open(fs *hdfs.FileSystem, conf *mapred.JobConf, split mapred.Split, node hdfs.NodeID, stats *sim.TaskStats) (mapred.RecordReader, error) {
+	csplit, ok := split.(*Split)
+	if !ok {
+		return nil, fmt.Errorf("core: unexpected split type %T", split)
+	}
+	if len(csplit.Dirs) == 0 {
+		return nil, fmt.Errorf("core: empty split")
+	}
+	columns := projection(conf)
+	if columns == nil {
+		columns = csplit.Columns
+	}
+	lazy := conf.Get(LazyProp) == "true"
+	return newReader(fs, csplit.Dirs, columns, lazy, node, stats)
+}
+
+// Reader iterates the records of a CIF split. It is also usable directly
+// (outside MapReduce) for scans.
+type Reader struct {
+	fs    *hdfs.FileSystem
+	node  hdfs.NodeID
+	stats *sim.TaskStats
+	lazy  bool
+
+	schema  *serde.Schema // full dataset schema
+	proj    *serde.Schema // projected record schema
+	columns []string
+
+	dirs    []string
+	dirIdx  int
+	cursors []*cursor
+	total   int64 // records in the open split-directory
+	curPos  int64 // index of the record most recently returned by Next
+	done    bool
+
+	lrec *LazyRecord
+	// lastCounted/lastCountedDir track the most recent record counted as
+	// materialized in lazy mode (first Get per record increments the
+	// counter once).
+	lastCounted    int64
+	lastCountedDir int
+}
+
+// cursor is one column's file reader plus the per-record value cache that
+// makes repeated Get calls on the same record free.
+type cursor struct {
+	name      string
+	schema    *serde.Schema
+	hr        *hdfs.FileReader
+	r         colfile.Reader
+	cached    any
+	cachedPos int64
+}
+
+func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, node hdfs.NodeID, stats *sim.TaskStats) (*Reader, error) {
+	schema, err := readSplitSchema(fs, dirs[0])
+	if err != nil {
+		return nil, err
+	}
+	proj := schema
+	if len(columns) > 0 {
+		if proj, err = schema.Project(columns...); err != nil {
+			return nil, err
+		}
+	} else {
+		columns = schema.FieldNames()
+	}
+	r := &Reader{
+		fs:             fs,
+		node:           node,
+		stats:          stats,
+		lazy:           lazy,
+		schema:         schema,
+		proj:           proj,
+		columns:        columns,
+		dirs:           dirs,
+		dirIdx:         -1,
+		lastCounted:    -1,
+		lastCountedDir: -1,
+	}
+	r.lrec = &LazyRecord{reader: r}
+	if err := r.nextDir(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// nextDir closes the current split-directory's cursors and opens the next.
+func (r *Reader) nextDir() error {
+	for _, c := range r.cursors {
+		c.hr.Close()
+	}
+	r.cursors = nil
+	r.dirIdx++
+	if r.dirIdx >= len(r.dirs) {
+		r.done = true
+		return nil
+	}
+	dir := r.dirs[r.dirIdx]
+	if r.dirIdx > 0 {
+		// Subsequent directories must agree on the schema.
+		s, err := readSplitSchema(r.fs, dir)
+		if err != nil {
+			return err
+		}
+		if !s.Equal(r.schema) {
+			return fmt.Errorf("core: split-directory %s schema differs from %s", dir, r.dirs[0])
+		}
+	}
+	var cpu *sim.CPUStats
+	if r.stats != nil {
+		cpu = &r.stats.CPU
+	}
+	// Column streams refill at readahead granularity: large enough to
+	// amortize the inter-file arm movement of a multi-column scan (the
+	// paper's ~25% full-scan overhead vs SEQ), small enough that skip-list
+	// jumps beyond it still eliminate I/O. A fixed reader memory budget is
+	// divided among the streams, so very wide records get smaller buffers
+	// and proportionally more arm movement — the growing column-storage
+	// overhead the paper measures in Appendix B.5.
+	chunk := sim.ReadaheadBytes
+	if budget := readerMemoryBudget / len(r.columns); chunk > budget {
+		chunk = budget
+	}
+	if tu := int(r.fs.Config().TransferUnit); chunk < tu {
+		chunk = tu
+	}
+	// A refill seeks only when another stream moved the arm of this
+	// stream's disk since its last refill. With blocks spread round-robin
+	// over D disks and S streams refilling in rotation, that probability
+	// is 1-(1-1/D)^(S-1): negligible for two streams, near-certain for
+	// the thirteen-column full scan (DESIGN.md, decision 4; this is why
+	// the paper's CIF full-record scan trails SEQ by ~25%). Charged per
+	// byte — normalized to the model's readahead window so smaller
+	// buffers cost proportionally more — so it extrapolates exactly
+	// across scales.
+	collide := interleaveFactor(len(r.columns), r.fs.Config().DisksPerNode)
+	chargePerByte := collide * float64(sim.ReadaheadBytes) / float64(chunk)
+	for _, col := range r.columns {
+		hr, err := r.fs.Open(dir+"/"+col, r.node)
+		if err != nil {
+			return fmt.Errorf("core: opening column %q: %w", col, err)
+		}
+		if r.stats != nil {
+			hr.SetStats(&r.stats.IO)
+		}
+		opts := colfile.ReaderOptions{Chunk: chunk}
+		if chargePerByte > 0 {
+			opts.OnRefill = func(n int) {
+				hr.ChargeInterleaved(int64(float64(n)*chargePerByte + 0.5))
+			}
+		}
+		cr, err := colfile.NewReaderOpts(hr, r.schema.Field(col), opts, cpu)
+		if err != nil {
+			return fmt.Errorf("core: column %q: %w", col, err)
+		}
+		r.cursors = append(r.cursors, &cursor{name: col, schema: r.schema.Field(col), hr: hr, r: cr, cachedPos: -1})
+	}
+	r.total = r.cursors[0].r.Total()
+	for _, c := range r.cursors {
+		if c.r.Total() != r.total {
+			return fmt.Errorf("core: column %q has %d records, %q has %d", c.name, c.r.Total(), r.cursors[0].name, r.total)
+		}
+	}
+	r.curPos = -1
+	return nil
+}
+
+// Next implements mapred.RecordReader. In lazy mode the returned Record is
+// reused across calls (like Hadoop Writables): use it before the next call.
+func (r *Reader) Next() (any, any, bool, error) {
+	for {
+		if r.done {
+			return nil, nil, false, nil
+		}
+		if r.curPos+1 < r.total {
+			r.curPos++
+			break
+		}
+		if err := r.nextDir(); err != nil {
+			return nil, nil, false, err
+		}
+	}
+	if r.lazy {
+		return nil, r.lrec, true, nil
+	}
+	rec := serde.NewRecord(r.proj)
+	for i, c := range r.cursors {
+		v, err := c.r.Value()
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("core: column %q record %d: %w", c.name, r.curPos, err)
+		}
+		rec.SetAt(i, v)
+	}
+	if r.stats != nil {
+		r.stats.CPU.RecordsMaterialized++
+	}
+	return nil, rec, true, nil
+}
+
+// Close implements mapred.RecordReader.
+func (r *Reader) Close() error {
+	for _, c := range r.cursors {
+		c.hr.Close()
+	}
+	r.cursors = nil
+	r.done = true
+	return nil
+}
+
+// Schema returns the projected record schema.
+func (r *Reader) Schema() *serde.Schema { return r.proj }
+
+// readerMemoryBudget caps the total buffer memory of one CIF reader; wide
+// projections divide it among their column streams.
+const readerMemoryBudget = 32 << 20
+
+// interleaveFactor is the probability that a stream's refill requires an
+// arm movement, given streams concurrent streams over disks spindles.
+func interleaveFactor(streams, disks int) float64 {
+	if streams <= 1 {
+		return 0
+	}
+	if disks < 1 {
+		disks = 1
+	}
+	p := 1.0
+	for i := 0; i < streams-1; i++ {
+		p *= 1 - 1/float64(disks)
+	}
+	return 1 - p
+}
+
+// cursorFor returns the cursor of a projected column.
+func (r *Reader) cursorFor(name string) (*cursor, error) {
+	for _, c := range r.cursors {
+		if c.name == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("core: column %q is not in the projection %v", name, r.columns)
+}

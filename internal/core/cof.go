@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+
+	"colmr/internal/colfile"
+	"colmr/internal/hdfs"
+	"colmr/internal/mapred"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+)
+
+// Writer is the ColumnOutputFormat (COF) loader: it horizontally partitions
+// the record stream into split-directories and writes one column file per
+// top-level field (Figure 4).
+type Writer struct {
+	fs      *hdfs.FileSystem
+	dataset string
+	schema  *serde.Schema
+	opts    LoadOptions
+	stats   *sim.TaskStats
+
+	splitIdx   int
+	splitCount int64
+	count      int64
+
+	files []*hdfs.FileWriter
+	cols  []colfile.Writer
+}
+
+// NewWriter starts a COF load into the dataset directory, which must not
+// already contain split-directories.
+func NewWriter(fs *hdfs.FileSystem, dataset string, schema *serde.Schema, opts LoadOptions, stats *sim.TaskStats) (*Writer, error) {
+	if err := opts.Validate(schema); err != nil {
+		return nil, err
+	}
+	if opts.SplitBytes == 0 && opts.SplitRecords == 0 {
+		opts.SplitBytes = int64(len(schema.Fields)) * fs.Config().BlockSize
+	}
+	fs.MkdirAll(dataset)
+	w := &Writer{fs: fs, dataset: dataset, schema: schema, opts: opts, stats: stats, splitIdx: -1}
+	return w, nil
+}
+
+// Append writes one record, rotating split-directories as bounds fill.
+func (w *Writer) Append(rec *serde.GenericRecord) error {
+	if w.cols == nil {
+		if err := w.openSplit(); err != nil {
+			return err
+		}
+	}
+	if !rec.Schema().Equal(w.schema) {
+		return fmt.Errorf("core: record schema does not match dataset schema")
+	}
+	for i := range w.schema.Fields {
+		v := rec.GetAt(i)
+		if v == nil {
+			return fmt.Errorf("core: field %q is unset", w.schema.Fields[i].Name)
+		}
+		if err := w.cols[i].Append(v); err != nil {
+			return fmt.Errorf("core: column %q: %w", w.schema.Fields[i].Name, err)
+		}
+	}
+	w.splitCount++
+	w.count++
+	if w.splitFull() {
+		return w.closeSplit()
+	}
+	return nil
+}
+
+func (w *Writer) splitFull() bool {
+	if w.opts.SplitRecords > 0 && w.splitCount >= w.opts.SplitRecords {
+		return true
+	}
+	if w.opts.SplitBytes > 0 {
+		var total int64
+		for _, f := range w.files {
+			total += f.Size()
+		}
+		return total >= w.opts.SplitBytes
+	}
+	return false
+}
+
+func (w *Writer) openSplit() error {
+	w.splitIdx++
+	w.splitCount = 0
+	dir := w.dataset + "/" + splitDirName(w.splitIdx)
+	schemaWriter, err := w.fs.Create(dir+"/"+SchemaFile, w.opts.WriterNode)
+	if err != nil {
+		return err
+	}
+	if w.stats != nil {
+		schemaWriter.SetStats(&w.stats.IO)
+	}
+	if _, err := schemaWriter.Write([]byte(w.schema.String())); err != nil {
+		return err
+	}
+	if err := schemaWriter.Close(); err != nil {
+		return err
+	}
+	w.files = w.files[:0]
+	w.cols = w.cols[:0]
+	for _, f := range w.schema.Fields {
+		fw, err := w.fs.Create(dir+"/"+f.Name, w.opts.WriterNode)
+		if err != nil {
+			return err
+		}
+		if w.stats != nil {
+			fw.SetStats(&w.stats.IO)
+		}
+		var cpu *sim.CPUStats
+		if w.stats != nil {
+			cpu = &w.stats.CPU
+		}
+		cw, err := colfile.NewWriter(fw, f.Type, w.opts.layoutFor(f.Name), cpu)
+		if err != nil {
+			return err
+		}
+		w.files = append(w.files, fw)
+		w.cols = append(w.cols, cw)
+	}
+	return nil
+}
+
+func (w *Writer) closeSplit() error {
+	if w.cols == nil {
+		return nil
+	}
+	for i, cw := range w.cols {
+		if err := cw.Close(); err != nil {
+			return err
+		}
+		if err := w.files[i].Close(); err != nil {
+			return err
+		}
+	}
+	w.cols = nil
+	w.files = nil
+	return nil
+}
+
+// Count returns the number of records appended.
+func (w *Writer) Count() int64 { return w.count }
+
+// Close finalizes the last split-directory.
+func (w *Writer) Close() error { return w.closeSplit() }
+
+// Load converts a dataset readable by any InputFormat into a CIF dataset —
+// the paper's parallel loader (Section 4.2; load costs are Table 2's
+// experiment). It returns the number of records loaded.
+func Load(fs *hdfs.FileSystem, in mapred.InputFormat, conf *mapred.JobConf, schema *serde.Schema, dest string, opts LoadOptions, stats *sim.TaskStats) (int64, error) {
+	w, err := NewWriter(fs, dest, schema, opts, stats)
+	if err != nil {
+		return 0, err
+	}
+	splits, err := in.Splits(fs, conf)
+	if err != nil {
+		return 0, err
+	}
+	for _, sp := range splits {
+		rr, err := in.Open(fs, conf, sp, opts.WriterNode, stats)
+		if err != nil {
+			return 0, err
+		}
+		for {
+			_, v, ok, err := rr.Next()
+			if err != nil {
+				rr.Close()
+				return 0, err
+			}
+			if !ok {
+				break
+			}
+			rec, ok := v.(*serde.GenericRecord)
+			if !ok {
+				rr.Close()
+				return 0, fmt.Errorf("core: load: input produced %T, want a record", v)
+			}
+			if err := w.Append(rec); err != nil {
+				rr.Close()
+				return 0, err
+			}
+		}
+		if err := rr.Close(); err != nil {
+			return 0, err
+		}
+	}
+	return w.Count(), w.Close()
+}
+
+// AddColumn appends a derived column to an existing CIF dataset — the
+// schema-evolution operation Section 4.3 highlights as cheap for CIF
+// (adding one file per split-directory) and prohibitively expensive for
+// RCFile (rewriting every block). compute receives each record projected
+// onto inputCols and returns the new column's value.
+func AddColumn(fs *hdfs.FileSystem, dataset, name string, colSchema *serde.Schema, layout colfile.Options, inputCols []string, compute func(rec serde.Record) (any, error), stats *sim.TaskStats) error {
+	schema, err := ReadSchema(fs, dataset)
+	if err != nil {
+		return err
+	}
+	if schema.FieldIndex(name) >= 0 {
+		return fmt.Errorf("core: dataset already has a column %q", name)
+	}
+	newSchema := serde.RecordOf(schema.Name, append(append([]serde.Field{}, schema.Fields...), serde.Field{Name: name, Type: colSchema})...)
+	if err := newSchema.Validate(); err != nil {
+		return err
+	}
+
+	dirs, err := listSplitDirs(fs, dataset)
+	if err != nil {
+		return err
+	}
+	in := &InputFormat{}
+	conf := &mapred.JobConf{InputPaths: []string{dataset}}
+	if len(inputCols) > 0 {
+		SetColumns(conf, inputCols...)
+	}
+	for _, dir := range dirs {
+		split := &Split{Dirs: []string{dir}, Columns: inputCols}
+		rr, err := in.Open(fs, conf, split, hdfs.AnyNode, stats)
+		if err != nil {
+			return err
+		}
+		fw, err := fs.Create(dir+"/"+name, hdfs.AnyNode)
+		if err != nil {
+			return err
+		}
+		if stats != nil {
+			fw.SetStats(&stats.IO)
+		}
+		var cpu *sim.CPUStats
+		if stats != nil {
+			cpu = &stats.CPU
+		}
+		cw, err := colfile.NewWriter(fw, colSchema, layout, cpu)
+		if err != nil {
+			return err
+		}
+		for {
+			_, v, ok, err := rr.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			nv, err := compute(v.(serde.Record))
+			if err != nil {
+				return err
+			}
+			if err := cw.Append(nv); err != nil {
+				return err
+			}
+		}
+		if err := rr.Close(); err != nil {
+			return err
+		}
+		if err := cw.Close(); err != nil {
+			return err
+		}
+		if err := fw.Close(); err != nil {
+			return err
+		}
+		// Refresh the split's schema file.
+		if err := fs.Remove(dir + "/" + SchemaFile); err != nil {
+			return err
+		}
+		if err := fs.WriteFile(dir+"/"+SchemaFile, []byte(newSchema.String()), hdfs.AnyNode); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package core
+
+import "colmr/internal/serde"
+
+// LazyRecord implements the paper's lazy record construction (Section 5.1).
+// It satisfies the same Record interface as an eagerly materialized
+// GenericRecord, so map functions are written identically for both.
+//
+// The reader's curPos advances on every Next() without touching any column
+// file. Each column cursor remembers the last record it actually read
+// (lastPos, which is colfile.Reader.Record here). Only when the map
+// function calls Get does the column skip ahead —
+// skip(curPos - lastPos) — and deserialize one value. With skip-list
+// column layouts the skip is cheap; with plain layouts it degrades to
+// walking every intervening record, matching the paper's description.
+type LazyRecord struct {
+	reader *Reader
+}
+
+// Schema implements serde.Record.
+func (l *LazyRecord) Schema() *serde.Schema { return l.reader.proj }
+
+// Get implements serde.Record: it materializes the named column's value
+// for the record curPos currently points at.
+func (l *LazyRecord) Get(name string) (any, error) {
+	r := l.reader
+	c, err := r.cursorFor(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.cachedPos == r.curPos {
+		return c.cached, nil
+	}
+	// lastPos -> curPos: skip the records the map function never asked
+	// for, then deserialize this one.
+	if err := c.r.SkipTo(r.curPos); err != nil {
+		return nil, err
+	}
+	v, err := c.r.Value()
+	if err != nil {
+		return nil, err
+	}
+	c.cached = v
+	c.cachedPos = r.curPos
+	if r.stats != nil && !l.countedCurrent() {
+		r.stats.CPU.RecordsMaterialized++
+		r.lastCounted = r.curPos
+		r.lastCountedDir = r.dirIdx
+	}
+	return v, nil
+}
+
+// countedCurrent reports whether the current record was already counted as
+// materialized (first Get on a record wins).
+func (l *LazyRecord) countedCurrent() bool {
+	r := l.reader
+	return r.lastCountedDir == r.dirIdx && r.lastCounted == r.curPos && r.lastCounted >= 0
+}

@@ -1,0 +1,337 @@
+// Package seq implements SequenceFiles, Hadoop's standard binary key/value
+// format and the paper's SEQ baseline. Keys are NullWritable (as in the
+// paper); values are serde-encoded records. Four variants match Table 1:
+//
+//	ModeNone    uncompressed records              (SEQ-uncomp)
+//	ModeRecord  each value compressed separately  (SEQ-record)
+//	ModeBlock   batches of values compressed      (SEQ-block)
+//	FieldCodecs application-level compression of
+//	            selected byte columns             (SEQ-custom)
+//
+// Files embed their schema, a sync-marker for mid-file split alignment, and
+// sync points at a configurable interval.
+package seq
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"colmr/internal/compress"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+)
+
+// Mode selects the compression variant.
+type Mode uint8
+
+// Compression modes.
+const (
+	ModeNone Mode = iota
+	ModeRecord
+	ModeBlock
+)
+
+// String returns the mode's configuration name.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeRecord:
+		return "record"
+	case ModeBlock:
+		return "block"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Entry tags in the record stream.
+const (
+	tagSync   = 0
+	tagRecord = 1
+	tagBlock  = 2
+)
+
+const (
+	magic    = "SEQF"
+	syncSize = 16
+	// DefaultSyncInterval is how many payload bytes may pass between sync
+	// markers.
+	DefaultSyncInterval = 4 << 10
+	// DefaultBlockBytes is the target raw size of one compressed block.
+	DefaultBlockBytes = 128 << 10
+)
+
+// Options configures a SequenceFile writer.
+type Options struct {
+	Mode Mode
+	// Codec compresses records/blocks in ModeRecord and ModeBlock.
+	Codec string
+	// BlockBytes is the raw batch size in ModeBlock.
+	BlockBytes int
+	// SyncInterval is the approximate byte distance between sync markers.
+	SyncInterval int
+	// FieldCodecs compresses individual byte-typed fields with
+	// application code, the paper's SEQ-custom: map of field name to
+	// codec name.
+	FieldCodecs map[string]string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Codec == "" {
+		o.Codec = "none"
+	}
+	if o.BlockBytes == 0 {
+		o.BlockBytes = DefaultBlockBytes
+	}
+	if o.SyncInterval == 0 {
+		o.SyncInterval = DefaultSyncInterval
+	}
+	return o
+}
+
+// header is the self-describing file preamble.
+type header struct {
+	mode        Mode
+	codec       string
+	schema      *serde.Schema
+	fieldCodecs map[string]string
+	sync        []byte
+}
+
+func appendHeader(dst []byte, h header) []byte {
+	dst = append(dst, magic...)
+	dst = append(dst, byte(h.mode))
+	dst = binary.AppendUvarint(dst, uint64(len(h.codec)))
+	dst = append(dst, h.codec...)
+	schemaStr := h.schema.String()
+	dst = binary.AppendUvarint(dst, uint64(len(schemaStr)))
+	dst = append(dst, schemaStr...)
+	names := make([]string, 0, len(h.fieldCodecs))
+	for n := range h.fieldCodecs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	dst = binary.AppendUvarint(dst, uint64(len(names)))
+	for _, n := range names {
+		dst = binary.AppendUvarint(dst, uint64(len(n)))
+		dst = append(dst, n...)
+		c := h.fieldCodecs[n]
+		dst = binary.AppendUvarint(dst, uint64(len(c)))
+		dst = append(dst, c...)
+	}
+	dst = append(dst, h.sync...)
+	return dst
+}
+
+// syncMarkerFor derives a deterministic 16-byte sync marker from the file
+// path (Hadoop uses a random UID; a path hash keeps runs reproducible).
+func syncMarkerFor(path string) []byte {
+	h1 := fnv.New64a()
+	h1.Write([]byte(path))
+	h2 := fnv.New64()
+	h2.Write([]byte(path))
+	h2.Write([]byte{0xA5})
+	out := make([]byte, 0, syncSize)
+	out = h1.Sum(out)
+	out = h2.Sum(out)
+	return out
+}
+
+// Writer streams records to a SequenceFile.
+type Writer struct {
+	w      io.Writer
+	opts   Options
+	schema *serde.Schema
+	codec  compress.Codec
+	fcodec map[string]compress.Codec
+	stats  *sim.CPUStats
+	sync   []byte
+
+	sinceSync int
+	count     int64
+
+	// block mode state
+	raw        []byte
+	blockCount int
+
+	scratch []byte
+}
+
+// NewWriter creates a SequenceFile at w. The path parameter seeds the sync
+// marker; pass the file's HDFS path.
+func NewWriter(w io.Writer, path string, schema *serde.Schema, opts Options, stats *sim.CPUStats) (*Writer, error) {
+	opts = opts.withDefaults()
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if schema.Kind != serde.KindRecord {
+		return nil, fmt.Errorf("seq: schema must be a record")
+	}
+	codec, err := compress.ByName(opts.Codec)
+	if err != nil {
+		return nil, err
+	}
+	fcodec := map[string]compress.Codec{}
+	for name, cn := range opts.FieldCodecs {
+		fs := schema.Field(name)
+		if fs == nil {
+			return nil, fmt.Errorf("seq: field codec for unknown field %q", name)
+		}
+		if fs.Kind != serde.KindBytes {
+			return nil, fmt.Errorf("seq: field codec requires a bytes field, %q is %s", name, fs.Kind)
+		}
+		c, err := compress.ByName(cn)
+		if err != nil {
+			return nil, err
+		}
+		fcodec[name] = c
+	}
+	sw := &Writer{
+		w:      w,
+		opts:   opts,
+		schema: schema,
+		codec:  codec,
+		fcodec: fcodec,
+		stats:  stats,
+		sync:   syncMarkerFor(path),
+	}
+	hdr := appendHeader(nil, header{
+		mode:        opts.Mode,
+		codec:       opts.Codec,
+		schema:      schema,
+		fieldCodecs: opts.FieldCodecs,
+		sync:        sw.sync,
+	})
+	if _, err := w.Write(hdr); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// Append writes one record.
+func (w *Writer) Append(rec *serde.GenericRecord) error {
+	enc, err := w.encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	if w.stats != nil {
+		w.stats.RawBytes += int64(len(enc)) // serialization work
+	}
+	switch w.opts.Mode {
+	case ModeNone:
+		if err := w.maybeSync(); err != nil {
+			return err
+		}
+		out := binary.AppendUvarint(nil, tagRecord)
+		out = binary.AppendUvarint(out, uint64(len(enc)))
+		out = append(out, enc...)
+		return w.emit(out)
+	case ModeRecord:
+		if err := w.maybeSync(); err != nil {
+			return err
+		}
+		comp, err := w.codec.Compress(nil, enc)
+		if err != nil {
+			return err
+		}
+		compress.ChargeComp(w.stats, w.codec.Name(), int64(len(enc)))
+		out := binary.AppendUvarint(nil, tagRecord)
+		out = binary.AppendUvarint(out, uint64(len(enc)))
+		out = binary.AppendUvarint(out, uint64(len(comp)))
+		out = append(out, comp...)
+		return w.emit(out)
+	case ModeBlock:
+		w.raw = binary.AppendUvarint(w.raw, uint64(len(enc)))
+		w.raw = append(w.raw, enc...)
+		w.blockCount++
+		w.count++
+		if len(w.raw) >= w.opts.BlockBytes {
+			return w.flushBlock()
+		}
+		return nil
+	}
+	return fmt.Errorf("seq: unknown mode %v", w.opts.Mode)
+}
+
+// encodeRecord serializes a record, applying per-field application-level
+// compression (SEQ-custom).
+func (w *Writer) encodeRecord(rec *serde.GenericRecord) ([]byte, error) {
+	if len(w.fcodec) == 0 {
+		return serde.AppendRecord(w.scratch[:0], rec)
+	}
+	tx := serde.NewRecord(w.schema)
+	for i, f := range w.schema.Fields {
+		v := rec.GetAt(i)
+		if c, ok := w.fcodec[f.Name]; ok {
+			raw, ok := v.([]byte)
+			if !ok {
+				return nil, fmt.Errorf("seq: field %q: expected bytes, got %T", f.Name, v)
+			}
+			comp, err := c.Compress(binary.AppendUvarint(nil, uint64(len(raw))), raw)
+			if err != nil {
+				return nil, err
+			}
+			compress.ChargeComp(w.stats, c.Name(), int64(len(raw)))
+			v = comp
+		}
+		tx.SetAt(i, v)
+	}
+	return serde.AppendRecord(w.scratch[:0], tx)
+}
+
+func (w *Writer) emit(entry []byte) error {
+	if _, err := w.w.Write(entry); err != nil {
+		return err
+	}
+	w.sinceSync += len(entry)
+	w.count++
+	return nil
+}
+
+func (w *Writer) maybeSync() error {
+	if w.sinceSync < w.opts.SyncInterval {
+		return nil
+	}
+	out := binary.AppendUvarint(nil, tagSync)
+	out = append(out, w.sync...)
+	if _, err := w.w.Write(out); err != nil {
+		return err
+	}
+	w.sinceSync = 0
+	return nil
+}
+
+func (w *Writer) flushBlock() error {
+	if w.blockCount == 0 {
+		return nil
+	}
+	// Sync precedes every block so block boundaries are split points.
+	out := binary.AppendUvarint(nil, tagSync)
+	out = append(out, w.sync...)
+	out = binary.AppendUvarint(out, tagBlock)
+	out, err := compress.AppendFrame(out, w.codec, w.blockCount, w.raw, w.stats)
+	if err != nil {
+		return err
+	}
+	if _, err := w.w.Write(out); err != nil {
+		return err
+	}
+	w.raw = w.raw[:0]
+	w.blockCount = 0
+	return nil
+}
+
+// Count returns the number of records appended.
+func (w *Writer) Count() int64 { return w.count }
+
+// Close flushes any pending block.
+func (w *Writer) Close() error {
+	if w.opts.Mode == ModeBlock {
+		return w.flushBlock()
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+
+	"colmr/internal/hdfs"
+	"colmr/internal/mapred"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+)
+
+var testSchema = serde.MustParse(`
+T {
+  string url,
+  int n,
+  map<string> meta,
+  bytes content
+}`)
+
+func makeRecord(rng *rand.Rand, i int) *serde.GenericRecord {
+	rec := serde.NewRecord(testSchema)
+	rec.Set("url", "http://site/"+string(rune('a'+i%26)))
+	rec.Set("n", int32(i))
+	rec.Set("meta", map[string]any{"content-type": "text/html", "idx": string(rune('0' + i%10))})
+	content := make([]byte, 100+rng.Intn(200))
+	for j := range content {
+		content[j] = byte('A' + (i+j)%23)
+	}
+	rec.Set("content", content)
+	return rec
+}
+
+func testFS(t *testing.T, blockSize int64) *hdfs.FileSystem {
+	t.Helper()
+	cfg := sim.DefaultCluster()
+	cfg.Nodes = 4
+	cfg.BlockSize = blockSize
+	return hdfs.New(cfg, 1)
+}
+
+func writeSeq(t *testing.T, fs *hdfs.FileSystem, path string, opts Options, n int) []*serde.GenericRecord {
+	t.Helper()
+	f, err := fs.Create(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f, path, testSchema, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var recs []*serde.GenericRecord
+	for i := 0; i < n; i++ {
+		rec := makeRecord(rng, i)
+		recs = append(recs, rec)
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return recs
+}
+
+func readAll(t *testing.T, fs *hdfs.FileSystem, path string, splitSize int64) ([]*serde.GenericRecord, sim.TaskStats) {
+	t.Helper()
+	in := &InputFormat{SplitSize: splitSize}
+	conf := &mapred.JobConf{InputPaths: []string{path}}
+	splits, err := in.Splits(fs, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*serde.GenericRecord
+	var total sim.TaskStats
+	for _, sp := range splits {
+		var st sim.TaskStats
+		rr, err := in.Open(fs, conf, sp, hdfs.AnyNode, &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, v, ok, err := rr.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			out = append(out, v.(*serde.GenericRecord))
+		}
+		rr.Close()
+		total.Add(st)
+	}
+	return out, total
+}
+
+func sortByN(recs []*serde.GenericRecord) {
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0; j-- {
+			a, _ := recs[j-1].Get("n")
+			b, _ := recs[j].Get("n")
+			if a.(int32) <= b.(int32) {
+				break
+			}
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}
+
+func TestRoundTripAllModes(t *testing.T) {
+	cases := []Options{
+		{Mode: ModeNone},
+		{Mode: ModeRecord, Codec: "lzo"},
+		{Mode: ModeRecord, Codec: "zlib"},
+		{Mode: ModeBlock, Codec: "lzo", BlockBytes: 4 << 10},
+		{Mode: ModeBlock, Codec: "zlib", BlockBytes: 4 << 10},
+		{Mode: ModeNone, FieldCodecs: map[string]string{"content": "lzo"}},
+	}
+	for _, opts := range cases {
+		name := opts.Mode.String() + "/" + opts.Codec
+		fs := testFS(t, 1<<16)
+		want := writeSeq(t, fs, "/d/f.seq", opts, 200)
+		got, _ := readAll(t, fs, "/d/f.seq", 1<<62)
+		if len(got) != len(want) {
+			t.Fatalf("%s: read %d records, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if !serde.RecordsEqual(want[i], got[i]) {
+				t.Fatalf("%s: record %d mismatch", name, i)
+			}
+		}
+	}
+}
+
+// Records must be read exactly once across arbitrary split boundaries —
+// the sync-marker alignment contract.
+func TestSplitsExactlyOnce(t *testing.T) {
+	for _, opts := range []Options{
+		{Mode: ModeNone, SyncInterval: 512},
+		{Mode: ModeRecord, Codec: "lzo", SyncInterval: 512},
+		{Mode: ModeBlock, Codec: "lzo", BlockBytes: 1 << 10},
+	} {
+		fs := testFS(t, 1<<14)
+		const n = 300
+		writeSeq(t, fs, "/d/f.seq", opts, n)
+		for _, splitSize := range []int64{1 << 62, 8192, 1111} {
+			got, _ := readAll(t, fs, "/d/f.seq", splitSize)
+			if len(got) != n {
+				t.Fatalf("%s splitSize=%d: read %d records, want %d", opts.Mode, splitSize, len(got), n)
+			}
+			sortByN(got)
+			for i, r := range got {
+				v, _ := r.Get("n")
+				if v.(int32) != int32(i) {
+					t.Fatalf("%s splitSize=%d: missing or duplicated record %d", opts.Mode, splitSize, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSchemaFromHeader(t *testing.T) {
+	fs := testFS(t, 1<<16)
+	writeSeq(t, fs, "/d/f.seq", Options{Mode: ModeNone}, 5)
+	s, err := ReadSchema(fs, "/d/f.seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(testSchema) {
+		t.Errorf("header schema mismatch:\n%s", s)
+	}
+}
+
+func TestCompressionShrinksFile(t *testing.T) {
+	fsA := testFS(t, 1<<20)
+	fsB := testFS(t, 1<<20)
+	writeSeq(t, fsA, "/f", Options{Mode: ModeNone}, 500)
+	writeSeq(t, fsB, "/f", Options{Mode: ModeBlock, Codec: "zlib", BlockBytes: 8 << 10}, 500)
+	if fsB.TotalSize("/f") >= fsA.TotalSize("/f") {
+		t.Errorf("block-compressed %d >= uncompressed %d", fsB.TotalSize("/f"), fsA.TotalSize("/f"))
+	}
+}
+
+func TestDecodeChargesCounters(t *testing.T) {
+	fs := testFS(t, 1<<20)
+	writeSeq(t, fs, "/f", Options{Mode: ModeBlock, Codec: "lzo", BlockBytes: 8 << 10}, 100)
+	_, st := readAll(t, fs, "/f", 1<<62)
+	if st.CPU.LzoBytes == 0 {
+		t.Error("block decompression not charged")
+	}
+	if st.CPU.MapBytes == 0 || st.CPU.StringBytes == 0 || st.CPU.RawBytes == 0 {
+		t.Errorf("decode counters missing: %+v", st.CPU)
+	}
+	if st.CPU.RecordsMaterialized != 100 {
+		t.Errorf("RecordsMaterialized = %d, want 100", st.CPU.RecordsMaterialized)
+	}
+	if st.IO.LogicalBytes == 0 || st.IO.TotalChargedBytes() == 0 {
+		t.Errorf("I/O not charged: %+v", st.IO)
+	}
+}
+
+func TestCustomFieldCodecReducesSizeAndRestoresContent(t *testing.T) {
+	fsPlain := testFS(t, 1<<20)
+	fsCustom := testFS(t, 1<<20)
+	want := writeSeq(t, fsPlain, "/f", Options{Mode: ModeNone}, 100)
+	writeSeq(t, fsCustom, "/f", Options{Mode: ModeNone, FieldCodecs: map[string]string{"content": "lzo"}}, 100)
+	if fsCustom.TotalSize("/f") >= fsPlain.TotalSize("/f") {
+		t.Error("custom field compression did not shrink the file")
+	}
+	got, st := readAll(t, fsCustom, "/f", 1<<62)
+	for i := range want {
+		if !serde.RecordsEqual(want[i], got[i]) {
+			t.Fatalf("record %d mismatch after field decompression", i)
+		}
+	}
+	if st.CPU.LzoBytes == 0 {
+		t.Error("field decompression not charged")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	fs := testFS(t, 1<<16)
+	f, _ := fs.Create("/v", 0)
+	if _, err := NewWriter(f, "/v", serde.Int(), Options{}, nil); err == nil {
+		t.Error("non-record schema accepted")
+	}
+	if _, err := NewWriter(f, "/v", testSchema, Options{FieldCodecs: map[string]string{"nope": "lzo"}}, nil); err == nil {
+		t.Error("unknown field codec target accepted")
+	}
+	if _, err := NewWriter(f, "/v", testSchema, Options{FieldCodecs: map[string]string{"url": "lzo"}}, nil); err == nil {
+		t.Error("field codec on non-bytes field accepted")
+	}
+	if _, err := NewWriter(f, "/v", testSchema, Options{Codec: "nope"}, nil); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}
+
+func TestCorruptHeader(t *testing.T) {
+	fs := testFS(t, 1<<16)
+	fs.WriteFile("/bad", []byte("NOTASEQFILE_____________"), 0)
+	in := &InputFormat{}
+	if _, err := in.Open(fs, &mapred.JobConf{}, &mapred.FileSplit{Path: "/bad", End: 24}, hdfs.AnyNode, nil); err == nil {
+		t.Error("corrupt header accepted")
+	}
+}

@@ -1,0 +1,188 @@
+package txt
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"colmr/internal/hdfs"
+	"colmr/internal/mapred"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+)
+
+// Writer streams text records to a file.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+	n   int64
+}
+
+// NewWriter returns a text record writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write appends one record as a text line.
+func (w *Writer) Write(r *serde.GenericRecord) error {
+	buf, err := AppendRecord(w.buf[:0], r)
+	if err != nil {
+		return err
+	}
+	w.buf = buf
+	if _, err := w.w.Write(buf); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int64 { return w.n }
+
+// InputFormat reads delimited text files. Text carries no schema, so the
+// dataset's schema is supplied at construction, exactly like parsing raw
+// logs with hand-written code.
+//
+// Splits are byte ranges aligned to line boundaries Hadoop-style: a reader
+// whose range starts mid-file discards the partial first line (the previous
+// split reads past its end to finish it).
+type InputFormat struct {
+	Schema *serde.Schema
+	// SplitSize overrides the target split size (default: one HDFS block).
+	SplitSize int64
+}
+
+// Splits implements mapred.InputFormat.
+func (f *InputFormat) Splits(fs *hdfs.FileSystem, conf *mapred.JobConf) ([]mapred.Split, error) {
+	return mapred.SplitFiles(fs, conf.InputPaths, f.SplitSize)
+}
+
+// Open implements mapred.InputFormat.
+func (f *InputFormat) Open(fs *hdfs.FileSystem, conf *mapred.JobConf, split mapred.Split, node hdfs.NodeID, stats *sim.TaskStats) (mapred.RecordReader, error) {
+	fsplit, ok := split.(*mapred.FileSplit)
+	if !ok {
+		return nil, fmt.Errorf("txt: unexpected split type %T", split)
+	}
+	if f.Schema == nil || f.Schema.Kind != serde.KindRecord {
+		return nil, fmt.Errorf("txt: InputFormat requires a record schema")
+	}
+	r, err := fs.Open(fsplit.Path, node)
+	if err != nil {
+		return nil, err
+	}
+	if stats != nil {
+		r.SetStats(&stats.IO)
+	}
+	rd := &reader{
+		schema: f.Schema,
+		r:      r,
+		stats:  stats,
+		pos:    fsplit.Start,
+		end:    fsplit.End,
+		size:   r.Size(),
+	}
+	if err := rd.alignToFirstLine(); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+type reader struct {
+	schema *serde.Schema
+	r      *hdfs.FileReader
+	stats  *sim.TaskStats
+	pos    int64 // next unread byte
+	end    int64 // split end; the line containing end-1 is ours
+	size   int64
+
+	buf      []byte // buffered bytes starting at pos
+	done     bool
+	chunkLen int
+}
+
+func (rd *reader) chunk() int {
+	if rd.chunkLen == 0 {
+		rd.chunkLen = 128 << 10
+	}
+	return rd.chunkLen
+}
+
+// alignToFirstLine positions the reader on the first line that starts
+// within the split.
+func (rd *reader) alignToFirstLine() error {
+	if rd.pos == 0 {
+		return nil
+	}
+	// Back up one byte: if it is '\n' the split starts exactly on a line
+	// boundary and the line is ours.
+	rd.pos--
+	line, err := rd.readLine()
+	if err == io.EOF {
+		rd.done = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	_ = line // partial (or preceding) line: owned by the previous split
+	return nil
+}
+
+// readLine returns the next line (without newline), reading past the split
+// end if the line spans it.
+func (rd *reader) readLine() ([]byte, error) {
+	for {
+		if i := bytes.IndexByte(rd.buf, '\n'); i >= 0 {
+			line := rd.buf[:i]
+			rd.buf = rd.buf[i+1:]
+			rd.pos += int64(i) + 1
+			return line, nil
+		}
+		if rd.pos+int64(len(rd.buf)) >= rd.size {
+			// Final line without trailing newline.
+			if len(rd.buf) == 0 {
+				return nil, io.EOF
+			}
+			line := rd.buf
+			rd.pos += int64(len(rd.buf))
+			rd.buf = nil
+			return line, nil
+		}
+		chunk := make([]byte, rd.chunk())
+		n, err := rd.r.ReadAt(chunk, rd.pos+int64(len(rd.buf)))
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		rd.buf = append(rd.buf, chunk[:n]...)
+	}
+}
+
+// Next implements mapred.RecordReader.
+func (rd *reader) Next() (any, any, bool, error) {
+	// A line belongs to this split if it starts before end.
+	if rd.done || rd.pos >= rd.end {
+		return nil, nil, false, nil
+	}
+	line, err := rd.readLine()
+	if err == io.EOF {
+		rd.done = true
+		return nil, nil, false, nil
+	}
+	if err != nil {
+		return nil, nil, false, err
+	}
+	var cpu *sim.CPUStats
+	if rd.stats != nil {
+		cpu = &rd.stats.CPU
+	}
+	rec, err := ParseRecord(line, rd.schema, cpu)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return nil, rec, true, nil
+}
+
+// Close implements mapred.RecordReader.
+func (rd *reader) Close() error { return rd.r.Close() }

@@ -1,0 +1,269 @@
+// Package txt implements the delimited text format (the paper's TXT
+// baseline): one record per line, fields separated by tabs, array elements
+// by '|', map entries by ';' with ':' between key and value, and byte
+// columns hex-encoded. Reading is CPU-bound on parsing, which is exactly
+// why the paper's Figure 7 shows TXT roughly 3x slower than a binary
+// format.
+package txt
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+)
+
+// Field and structure delimiters.
+const (
+	fieldSep = '\t'
+	arraySep = '|'
+	entrySep = ';'
+	kvSep    = ':'
+)
+
+// AppendRecord appends the text encoding of r plus a newline to dst.
+func AppendRecord(dst []byte, r *serde.GenericRecord) ([]byte, error) {
+	s := r.Schema()
+	var err error
+	for i, f := range s.Fields {
+		if i > 0 {
+			dst = append(dst, fieldSep)
+		}
+		dst, err = appendValue(dst, f.Type, r.GetAt(i))
+		if err != nil {
+			return dst, fmt.Errorf("txt: field %q: %w", f.Name, err)
+		}
+	}
+	return append(dst, '\n'), nil
+}
+
+func appendValue(dst []byte, s *serde.Schema, v any) ([]byte, error) {
+	if v == nil {
+		return dst, fmt.Errorf("unset value")
+	}
+	switch s.Kind {
+	case serde.KindBool:
+		return strconv.AppendBool(dst, v.(bool)), nil
+	case serde.KindInt:
+		return strconv.AppendInt(dst, int64(v.(int32)), 10), nil
+	case serde.KindLong, serde.KindTime:
+		return strconv.AppendInt(dst, v.(int64), 10), nil
+	case serde.KindDouble:
+		return strconv.AppendFloat(dst, v.(float64), 'g', -1, 64), nil
+	case serde.KindString:
+		return appendEscaped(dst, v.(string)), nil
+	case serde.KindBytes:
+		b := v.([]byte)
+		if len(b) == 0 {
+			return append(dst, emptyMarker...), nil
+		}
+		return hex.AppendEncode(dst, b), nil
+	case serde.KindArray:
+		arr := v.([]any)
+		var err error
+		for i, e := range arr {
+			if i > 0 {
+				dst = append(dst, arraySep)
+			}
+			dst, err = appendValue(dst, s.Elem, e)
+			if err != nil {
+				return dst, err
+			}
+		}
+		return dst, nil
+	case serde.KindMap:
+		m := v.(map[string]any)
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		var err error
+		for i, k := range keys {
+			if i > 0 {
+				dst = append(dst, entrySep)
+			}
+			dst = appendEscaped(dst, k)
+			dst = append(dst, kvSep)
+			dst, err = appendValue(dst, s.Elem, m[k])
+			if err != nil {
+				return dst, err
+			}
+		}
+		return dst, nil
+	default:
+		return dst, fmt.Errorf("txt: nested records are not representable in text format")
+	}
+}
+
+// appendEscaped backslash-escapes the delimiters and newline. The empty
+// string is written as the marker "\e" so that an array holding one empty
+// string remains distinguishable from an empty array.
+func appendEscaped(dst []byte, s string) []byte {
+	if len(s) == 0 {
+		return append(dst, '\\', 'e')
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case fieldSep, arraySep, entrySep, kvSep, '\\', '\n':
+			dst = append(dst, '\\')
+		}
+		dst = append(dst, s[i])
+	}
+	return dst
+}
+
+// emptyMarker is the escaped representation of an empty string or byte
+// slice.
+const emptyMarker = "\\e"
+
+// ParseRecord parses one text line (without its trailing newline) into a
+// record, charging the full line as text-parse work.
+func ParseRecord(line []byte, schema *serde.Schema, stats *sim.CPUStats) (*serde.GenericRecord, error) {
+	if stats != nil {
+		stats.TextBytes += int64(len(line)) + 1
+		stats.RecordsMaterialized++
+	}
+	fields, err := splitEscaped(string(line), byte(fieldSep))
+	if err != nil {
+		return nil, err
+	}
+	if len(fields) != len(schema.Fields) {
+		return nil, fmt.Errorf("txt: line has %d fields, schema %q wants %d", len(fields), schema.Name, len(schema.Fields))
+	}
+	rec := serde.NewRecord(schema)
+	for i, f := range schema.Fields {
+		v, err := parseValue(fields[i], f.Type, stats)
+		if err != nil {
+			return nil, fmt.Errorf("txt: field %q: %w", f.Name, err)
+		}
+		rec.SetAt(i, v)
+	}
+	return rec, nil
+}
+
+func parseValue(s string, schema *serde.Schema, stats *sim.CPUStats) (any, error) {
+	if stats != nil {
+		stats.ValuesMaterialized++
+	}
+	switch schema.Kind {
+	case serde.KindBool:
+		return strconv.ParseBool(s)
+	case serde.KindInt:
+		v, err := strconv.ParseInt(s, 10, 32)
+		return int32(v), err
+	case serde.KindLong, serde.KindTime:
+		return strconv.ParseInt(s, 10, 64)
+	case serde.KindDouble:
+		return strconv.ParseFloat(s, 64)
+	case serde.KindString:
+		if s == emptyMarker {
+			return "", nil
+		}
+		return unescape(s), nil
+	case serde.KindBytes:
+		if s == emptyMarker {
+			return []byte{}, nil
+		}
+		return hex.DecodeString(s)
+	case serde.KindArray:
+		if s == "" {
+			return []any{}, nil
+		}
+		parts, err := splitEscaped(s, byte(arraySep))
+		if err != nil {
+			return nil, err
+		}
+		arr := make([]any, 0, len(parts))
+		for _, p := range parts {
+			v, err := parseValue(p, schema.Elem, stats)
+			if err != nil {
+				return nil, err
+			}
+			arr = append(arr, v)
+		}
+		return arr, nil
+	case serde.KindMap:
+		m := map[string]any{}
+		if s == "" {
+			return m, nil
+		}
+		entries, err := splitEscaped(s, byte(entrySep))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			kv, err := splitEscaped(e, byte(kvSep))
+			if err != nil {
+				return nil, err
+			}
+			if len(kv) != 2 {
+				return nil, fmt.Errorf("txt: malformed map entry %q", e)
+			}
+			v, err := parseValue(kv[1], schema.Elem, stats)
+			if err != nil {
+				return nil, err
+			}
+			key := kv[0]
+			if key == emptyMarker {
+				key = ""
+			} else {
+				key = unescape(key)
+			}
+			m[key] = v
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("txt: nested records are not representable in text format")
+	}
+}
+
+// splitEscaped splits on sep, honoring backslash escapes.
+func splitEscaped(s string, sep byte) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\':
+			if i+1 >= len(s) {
+				return nil, fmt.Errorf("txt: dangling escape in %q", s)
+			}
+			cur.WriteByte('\\')
+			cur.WriteByte(s[i+1])
+			i++
+		case c == sep:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	out = append(out, cur.String())
+	return out, nil
+}
+
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package txt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"colmr/internal/hdfs"
+	"colmr/internal/mapred"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+)
+
+var testSchema = serde.MustParse(`
+T {
+  string s,
+  int i,
+  long l,
+  double d,
+  bool b,
+  bytes raw,
+  string[] arr,
+  map<int> m
+}`)
+
+func TestLineRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rec := serde.RandomRecord(rand.New(rand.NewSource(seed)), testSchema)
+		line, err := AppendRecord(nil, rec)
+		if err != nil {
+			t.Logf("append: %v", err)
+			return false
+		}
+		got, err := ParseRecord(line[:len(line)-1], testSchema, nil)
+		if err != nil {
+			t.Logf("parse: %v", err)
+			return false
+		}
+		return serde.RecordsEqual(rec, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	schema := serde.MustParse(`T { string s, map<string> m }`)
+	rec := serde.NewRecord(schema)
+	rec.Set("s", "has\ttab|pipe;semi:colon\\back\nnewline")
+	rec.Set("m", map[string]any{"k:ey": "v;al"})
+	line, err := AppendRecord(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseRecord(line[:len(line)-1], schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serde.RecordsEqual(rec, got) {
+		s, _ := got.Get("s")
+		t.Errorf("escaping round-trip failed: %q", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	schema := serde.MustParse(`T { int i, string s }`)
+	bad := []string{
+		"notanint\tok",
+		"5",             // too few fields
+		"5\tx\textra",   // too many fields
+		"5\tdangling\\", // dangling escape
+	}
+	for _, line := range bad {
+		if _, err := ParseRecord([]byte(line), schema, nil); err == nil {
+			t.Errorf("ParseRecord(%q) succeeded, want error", line)
+		}
+	}
+	if _, err := ParseRecord([]byte("x"), serde.MustParse(`T { Inner { int i } n }`), nil); err == nil {
+		t.Error("nested record schema should be rejected")
+	}
+}
+
+func TestParseChargesTextBytes(t *testing.T) {
+	schema := serde.MustParse(`T { int i, string s }`)
+	var st sim.CPUStats
+	line := []byte("42\thello")
+	if _, err := ParseRecord(line, schema, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TextBytes != int64(len(line))+1 {
+		t.Errorf("TextBytes = %d, want %d", st.TextBytes, len(line)+1)
+	}
+	if st.RecordsMaterialized != 1 || st.ValuesMaterialized != 2 {
+		t.Errorf("materialization counters: %+v", st)
+	}
+}
+
+// Every record must be read exactly once regardless of how split boundaries
+// fall across lines.
+func TestSplitsExactlyOnce(t *testing.T) {
+	cfg := sim.DefaultCluster()
+	cfg.Nodes = 4
+	cfg.BlockSize = 1 << 14
+	fs := hdfs.New(cfg, 1)
+	schema := serde.MustParse(`T { int i, string pad }`)
+
+	w, err := fs.Create("/data/t.txt", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := NewWriter(w)
+	const n = 500
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < n; i++ {
+		rec := serde.NewRecord(schema)
+		rec.Set("i", int32(i))
+		pad := make([]byte, 10+rng.Intn(90))
+		for j := range pad {
+			pad[j] = byte('a' + rng.Intn(26))
+		}
+		rec.Set("pad", string(pad))
+		if err := tw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tw.Count() != n {
+		t.Fatalf("wrote %d", tw.Count())
+	}
+	w.Close()
+
+	for _, splitSize := range []int64{1 << 62, 4096, 1000, 137} {
+		in := &InputFormat{Schema: schema, SplitSize: splitSize}
+		conf := &mapred.JobConf{InputPaths: []string{"/data/t.txt"}}
+		splits, err := in.Splits(fs, conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int32]int{}
+		for _, sp := range splits {
+			rr, err := in.Open(fs, conf, sp, hdfs.AnyNode, &sim.TaskStats{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				_, v, ok, err := rr.Next()
+				if err != nil {
+					t.Fatalf("splitSize %d: %v", splitSize, err)
+				}
+				if !ok {
+					break
+				}
+				i, _ := v.(*serde.GenericRecord).Get("i")
+				seen[i.(int32)]++
+			}
+			rr.Close()
+		}
+		if len(seen) != n {
+			t.Fatalf("splitSize %d: saw %d distinct records, want %d", splitSize, len(seen), n)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("splitSize %d: record %d read %d times", splitSize, i, c)
+			}
+		}
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	fs := hdfs.New(sim.DefaultCluster(), 1)
+	in := &InputFormat{Schema: testSchema}
+	if _, err := in.Open(fs, &mapred.JobConf{}, &mapred.FileSplit{Path: "/missing"}, 0, nil); err == nil {
+		t.Error("opening a missing file should fail")
+	}
+	in2 := &InputFormat{Schema: serde.Int()}
+	fs.WriteFile("/f", []byte("x"), 0)
+	if _, err := in2.Open(fs, &mapred.JobConf{}, &mapred.FileSplit{Path: "/f", End: 1}, 0, nil); err == nil {
+		t.Error("non-record schema should fail")
+	}
+}
+
+func ExampleAppendRecord() {
+	schema := serde.MustParse(`T { string url, int hits }`)
+	rec := serde.NewRecord(schema)
+	rec.Set("url", "http://a.com")
+	rec.Set("hits", int32(3))
+	line, _ := AppendRecord(nil, rec)
+	fmt.Printf("%q\n", line)
+	// The ':' is escaped because it doubles as the map key/value separator.
+	// Output: "http\\://a.com\t3\n"
+}

@@ -1,0 +1,126 @@
+package hdfs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"colmr/internal/sim"
+)
+
+// The filesystem is shared by concurrent map tasks; writers and readers on
+// distinct files, and many readers on one file, must be safe. Run with
+// -race to catch violations.
+
+func TestConcurrentWritersDistinctFiles(t *testing.T) {
+	fs := New(testCluster(), 1)
+	const writers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := fmt.Sprintf("/c/w%02d", w)
+			data := bytes.Repeat([]byte{byte(w)}, 70_000) // multi-block
+			if err := fs.WriteFile(p, data, NodeID(w%fs.cfg.Nodes)); err != nil {
+				errs[w] = err
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	for w := 0; w < writers; w++ {
+		data, err := fs.ReadFile(fmt.Sprintf("/c/w%02d", w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != 70_000 || data[0] != byte(w) || data[len(data)-1] != byte(w) {
+			t.Fatalf("writer %d data corrupted", w)
+		}
+	}
+}
+
+func TestConcurrentReadersOneFile(t *testing.T) {
+	fs := New(testCluster(), 2)
+	payload := make([]byte, 200_000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if err := fs.WriteFile("/c/shared", payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	const readers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			reader, err := fs.Open("/c/shared", NodeID(r%fs.cfg.Nodes))
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			var st sim.IOStats
+			reader.SetStats(&st)
+			buf := make([]byte, 777)
+			off := int64(r * 1000)
+			for off < int64(len(payload)) {
+				n, err := reader.ReadAt(buf, off)
+				for i := 0; i < n; i++ {
+					if buf[i] != byte((int(off)+i)*7) {
+						errs[r] = fmt.Errorf("reader %d: corrupt byte at %d", r, off+int64(i))
+						return
+					}
+				}
+				if err != nil {
+					break
+				}
+				off += int64(n)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConcurrentMetadataOps(t *testing.T) {
+	fs := New(testCluster(), 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dir := fmt.Sprintf("/meta/s%d", i)
+			for j := 0; j < 20; j++ {
+				p := fmt.Sprintf("%s/f%d", dir, j)
+				if err := fs.WriteFile(p, []byte("x"), AnyNode); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := fs.Stat(p); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := fs.List(dir); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := fs.RemoveAll(dir); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

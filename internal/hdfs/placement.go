@@ -1,0 +1,198 @@
+package hdfs
+
+import (
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// BlockPlacementPolicy chooses the datanodes that store a block's replicas.
+// It mirrors Hadoop's dfs.block.replicator.classname extension point: the
+// paper's ColumnPlacementPolicy is installed through it without modifying
+// HDFS itself (Section 4.2).
+//
+// ChooseReplicas is called with the filesystem lock held. It must return
+// count distinct live nodes not present in exclude (fewer if the cluster is
+// too small).
+type BlockPlacementPolicy interface {
+	ChooseReplicas(fs *FileSystem, p string, blockIdx int, writer NodeID, count int, exclude map[NodeID]bool) []NodeID
+}
+
+// DefaultPolicy approximates HDFS's default placement: the first replica on
+// the writer's node when known, the remainder spread across lightly-loaded
+// random nodes. Randomness comes from the filesystem's seeded generator, so
+// placement is deterministic per seed.
+type DefaultPolicy struct{}
+
+// NewDefaultPolicy returns the default placement policy.
+func NewDefaultPolicy() DefaultPolicy { return DefaultPolicy{} }
+
+// ChooseReplicas implements BlockPlacementPolicy.
+func (DefaultPolicy) ChooseReplicas(fs *FileSystem, p string, blockIdx int, writer NodeID, count int, exclude map[NodeID]bool) []NodeID {
+	var chosen []NodeID
+	taken := make(map[NodeID]bool)
+	for n, excl := range exclude {
+		if excl {
+			taken[n] = true
+		}
+	}
+	eligible := func(n NodeID) bool {
+		return int(n) >= 0 && int(n) < fs.cfg.Nodes && !fs.dead[n] && !taken[n]
+	}
+	if eligible(writer) && count > 0 {
+		chosen = append(chosen, writer)
+		taken[writer] = true
+	}
+	for len(chosen) < count {
+		n, ok := pickLeastLoaded(fs, taken)
+		if !ok {
+			break
+		}
+		chosen = append(chosen, n)
+		taken[n] = true
+	}
+	return chosen
+}
+
+// pickLeastLoaded samples a handful of random live nodes and returns the one
+// with the least stored bytes, approximating HDFS's balancing behaviour.
+func pickLeastLoaded(fs *FileSystem, taken map[NodeID]bool) (NodeID, bool) {
+	const samples = 4
+	best := NodeID(-1)
+	var bestUsage int64
+	tried := 0
+	for attempt := 0; attempt < fs.cfg.Nodes*4 && tried < samples; attempt++ {
+		n := NodeID(fs.rng.Intn(fs.cfg.Nodes))
+		if fs.dead[n] || taken[n] {
+			continue
+		}
+		tried++
+		if best < 0 || fs.usage[n] < bestUsage {
+			best = n
+			bestUsage = fs.usage[n]
+		}
+	}
+	if best >= 0 {
+		return best, true
+	}
+	// Dense fallback: the random sampler can miss when few nodes remain.
+	for n := 0; n < fs.cfg.Nodes; n++ {
+		id := NodeID(n)
+		if !fs.dead[id] && !taken[id] {
+			if best < 0 || fs.usage[id] < bestUsage {
+				best = id
+				bestUsage = fs.usage[id]
+			}
+		}
+	}
+	return best, best >= 0
+}
+
+// SplitDirOf reports the split-directory prefix of a path following the
+// paper's naming convention: any directory component named "s<digits>"
+// (e.g. /data/2011-01-01/s0/url). It returns the path up to and including
+// that component.
+func SplitDirOf(p string) (string, bool) {
+	dir := p
+	for dir != "/" && dir != "." && dir != "" {
+		parent, base := path.Split(strings.TrimSuffix(dir, "/"))
+		if isSplitComponent(base) {
+			return path.Join(parent, base), true
+		}
+		dir = path.Clean(parent)
+		if dir == p {
+			break
+		}
+		p = dir
+	}
+	return "", false
+}
+
+func isSplitComponent(name string) bool {
+	if len(name) < 2 || name[0] != 's' {
+		return false
+	}
+	for _, c := range name[1:] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// ColumnPlacementPolicy (CPP) is the paper's co-locating policy: every block
+// of every file inside one split-directory is replicated on the same set of
+// nodes, chosen by the default policy for the first block seen. Files whose
+// paths do not follow the split-directory naming convention fall back to the
+// default policy, exactly as the paper specifies.
+type ColumnPlacementPolicy struct {
+	mu       sync.Mutex
+	fallback DefaultPolicy
+	// anchors maps split-directory path -> pinned replica set.
+	anchors map[string][]NodeID
+}
+
+// NewColumnPlacementPolicy returns a fresh CPP with no pinned directories.
+func NewColumnPlacementPolicy() *ColumnPlacementPolicy {
+	return &ColumnPlacementPolicy{anchors: make(map[string][]NodeID)}
+}
+
+// ChooseReplicas implements BlockPlacementPolicy.
+func (c *ColumnPlacementPolicy) ChooseReplicas(fs *FileSystem, p string, blockIdx int, writer NodeID, count int, exclude map[NodeID]bool) []NodeID {
+	splitDir, ok := SplitDirOf(p)
+	if !ok {
+		return c.fallback.ChooseReplicas(fs, p, blockIdx, writer, count, exclude)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	anchor, pinned := c.anchors[splitDir]
+	if !pinned {
+		anchor = c.fallback.ChooseReplicas(fs, p, blockIdx, writer, count, exclude)
+		c.anchors[splitDir] = anchor
+		return anchor
+	}
+	// Reuse the pinned set, skipping dead/excluded nodes and topping up via
+	// the default policy if the pinned set has shrunk below count.
+	var out []NodeID
+	taken := make(map[NodeID]bool)
+	for n, excl := range exclude {
+		if excl {
+			taken[n] = true
+		}
+	}
+	for _, n := range anchor {
+		if len(out) == count {
+			break
+		}
+		if !fs.dead[n] && !taken[n] {
+			out = append(out, n)
+			taken[n] = true
+		}
+	}
+	if len(out) < count {
+		extra := c.fallback.ChooseReplicas(fs, p, blockIdx, AnyNode, count-len(out), taken)
+		out = append(out, extra...)
+		c.anchors[splitDir] = out
+	}
+	return out
+}
+
+// Anchors returns a copy of the pinned split-directory -> replica-set map,
+// for inspection in tests and tooling.
+func (c *ColumnPlacementPolicy) Anchors() map[string][]NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string][]NodeID, len(c.anchors))
+	for k, v := range c.anchors {
+		out[k] = append([]NodeID(nil), v...)
+	}
+	return out
+}
+
+// sortNodes sorts a node list in place and returns it (test helper shared
+// across files).
+func sortNodes(ns []NodeID) []NodeID {
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns
+}

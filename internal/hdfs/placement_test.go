@@ -1,0 +1,195 @@
+package hdfs
+
+import (
+	"testing"
+
+	"colmr/internal/sim"
+)
+
+func TestSplitDirOf(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"/data/2011-01-01/s0/url", "/data/2011-01-01/s0", true},
+		{"/data/s12/metadata", "/data/s12", true},
+		{"/data/s12", "/data/s12", true},
+		{"/data/plain/file", "", false},
+		{"/s/x", "", false},           // "s" alone has no digits
+		{"/data/sXY/file", "", false}, // non-digit suffix
+	}
+	for _, c := range cases {
+		got, ok := SplitDirOf(c.in)
+		if ok != c.ok || got != c.want {
+			t.Errorf("SplitDirOf(%q) = (%q, %v), want (%q, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// The paper's co-location invariant (Figure 3b): every block of every column
+// file in a split-directory lives on the same set of nodes.
+func TestColumnPlacementCoLocates(t *testing.T) {
+	fs := New(testCluster(), 3)
+	cpp := NewColumnPlacementPolicy()
+	fs.SetPlacementPolicy(cpp)
+
+	cols := []string{"url", "fetchtime", "metadata", "content"}
+	for _, split := range []string{"s0", "s1", "s2"} {
+		for _, col := range cols {
+			p := "/data/day1/" + split + "/" + col
+			// Multi-block files must also stay pinned.
+			if err := fs.WriteFile(p, make([]byte, 150_000), AnyNode); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for _, split := range []string{"s0", "s1", "s2"} {
+		var anchor []NodeID
+		for _, col := range cols {
+			locs, err := fs.BlockLocations("/data/day1/" + split + "/" + col)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for bi, nodes := range locs {
+				ns := sortNodes(append([]NodeID(nil), nodes...))
+				if anchor == nil {
+					anchor = ns
+					continue
+				}
+				if len(ns) != len(anchor) {
+					t.Fatalf("%s/%s block %d: replica count %d != %d", split, col, bi, len(ns), len(anchor))
+				}
+				for i := range ns {
+					if ns[i] != anchor[i] {
+						t.Errorf("%s/%s block %d: replicas %v not co-located with anchor %v", split, col, bi, ns, anchor)
+					}
+				}
+			}
+		}
+	}
+
+	// Different split-directories should not all be anchored identically:
+	// load balancing happens per split-directory via the default policy.
+	anchors := cpp.Anchors()
+	if len(anchors) != 3 {
+		t.Errorf("anchors = %d, want 3", len(anchors))
+	}
+}
+
+func TestColumnPlacementFallsBackForPlainPaths(t *testing.T) {
+	fs := New(testCluster(), 3)
+	fs.SetPlacementPolicy(NewColumnPlacementPolicy())
+	if err := fs.WriteFile("/plain/file", make([]byte, 100), 5); err != nil {
+		t.Fatal(err)
+	}
+	locs, _ := fs.BlockLocations("/plain/file")
+	if locs[0][0] != 5 {
+		t.Errorf("plain file first replica = %d, want writer node 5", locs[0][0])
+	}
+}
+
+func TestDefaultPolicySpreadsLoad(t *testing.T) {
+	cfg := testCluster()
+	fs := New(cfg, 9)
+	for i := 0; i < 64; i++ {
+		p := "/spread/f" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		if err := fs.WriteFile(p, make([]byte, 65536), AnyNode); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used := 0
+	for n := 0; n < cfg.Nodes; n++ {
+		if fs.usage[n] > 0 {
+			used++
+		}
+	}
+	if used < cfg.Nodes/2 {
+		t.Errorf("only %d of %d nodes hold data; default policy is not spreading", used, cfg.Nodes)
+	}
+}
+
+func TestDefaultPolicyAvoidsDeadAndExcluded(t *testing.T) {
+	fs := New(testCluster(), 11)
+	fs.KillNode(0)
+	fs.KillNode(1)
+	excl := map[NodeID]bool{2: true, 3: true}
+	got := NewDefaultPolicy().ChooseReplicas(fs, "/f", 0, 0, 3, excl)
+	if len(got) != 3 {
+		t.Fatalf("chose %d replicas, want 3", len(got))
+	}
+	for _, n := range got {
+		if n <= 3 {
+			t.Errorf("chose node %d, which is dead or excluded", n)
+		}
+	}
+}
+
+func TestDefaultPolicyClusterTooSmall(t *testing.T) {
+	cfg := testCluster()
+	cfg.Nodes = 2
+	fs := New(cfg, 1)
+	got := NewDefaultPolicy().ChooseReplicas(fs, "/f", 0, AnyNode, 3, nil)
+	if len(got) != 2 {
+		t.Errorf("chose %d replicas on a 2-node cluster, want 2", len(got))
+	}
+}
+
+func TestCPPRepinsAfterNodeLoss(t *testing.T) {
+	fs := New(testCluster(), 5)
+	cpp := NewColumnPlacementPolicy()
+	fs.SetPlacementPolicy(cpp)
+	if err := fs.WriteFile("/d/s0/c1", make([]byte, 100), AnyNode); err != nil {
+		t.Fatal(err)
+	}
+	anchor := cpp.Anchors()["/d/s0"]
+	fs.KillNode(anchor[0])
+	// A new column file added to the same split-directory must still get
+	// a full replica set, topping up around the dead node.
+	if err := fs.WriteFile("/d/s0/c2", make([]byte, 100), AnyNode); err != nil {
+		t.Fatal(err)
+	}
+	locs, _ := fs.BlockLocations("/d/s0/c2")
+	if len(locs[0]) != 3 {
+		t.Errorf("new column file has %d replicas, want 3", len(locs[0]))
+	}
+	for _, n := range locs[0] {
+		if n == anchor[0] {
+			t.Error("new column file placed on dead node")
+		}
+	}
+}
+
+func TestColocationImprovesLocalityVersusDefault(t *testing.T) {
+	// Statistical version of Section 6.4: with CPP a task node hosting one
+	// column hosts them all; with the default policy it usually does not.
+	run := func(policy BlockPlacementPolicy) (coLocated, total int) {
+		cfg := sim.DefaultCluster()
+		cfg.Nodes = 20
+		cfg.BlockSize = 1 << 16
+		fs := New(cfg, 77)
+		fs.SetPlacementPolicy(policy)
+		for s := 0; s < 10; s++ {
+			dir := "/d/s" + string(rune('0'+s))
+			for _, col := range []string{"a", "b", "c", "d", "e"} {
+				if err := fs.WriteFile(dir+"/"+col, make([]byte, 70_000), AnyNode); err != nil {
+					t.Fatal(err)
+				}
+			}
+			total++
+			if len(fs.HostsFor([]string{dir + "/a", dir + "/b", dir + "/c", dir + "/d", dir + "/e"})) > 0 {
+				coLocated++
+			}
+		}
+		return coLocated, total
+	}
+	cppHits, n := run(NewColumnPlacementPolicy())
+	defHits, _ := run(NewDefaultPolicy())
+	if cppHits != n {
+		t.Errorf("CPP co-located %d/%d splits, want all", cppHits, n)
+	}
+	if defHits == n {
+		t.Errorf("default policy co-located all %d splits; test is not discriminating", n)
+	}
+}

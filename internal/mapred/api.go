@@ -1,0 +1,141 @@
+// Package mapred implements a Hadoop-like MapReduce engine over the
+// simulated HDFS: InputFormat/RecordReader/OutputFormat extension points
+// (the same abstractions the paper's CIF/COF plug into, Section 2), a
+// locality-aware split scheduler, parallel map execution, and a
+// hash-partitioned sort-merge shuffle feeding reduce tasks.
+//
+// Map and reduce tasks execute for real, in-process; every task fills a
+// sim.TaskStats with its I/O and CPU counters, which the benchmark
+// harnesses price with the cluster cost model.
+package mapred
+
+import (
+	"fmt"
+
+	"colmr/internal/hdfs"
+	"colmr/internal/sim"
+)
+
+// Split is a non-overlapping partition of the input assigned to one map
+// task (the paper's footnote 1).
+type Split interface {
+	// Hosts returns candidate nodes for running the split's map task,
+	// ranked best-first (typically by how many of the split's bytes are
+	// local). An empty slice means no locality preference.
+	Hosts(fs *hdfs.FileSystem) []hdfs.NodeID
+	// String describes the split for logs and errors.
+	String() string
+}
+
+// RecordReader iterates the key/value pairs of one split.
+type RecordReader interface {
+	// Next returns the next pair. ok is false at the end of the split.
+	Next() (key, value any, ok bool, err error)
+	// Close releases resources.
+	Close() error
+}
+
+// InputFormat generates splits and reads records from them — Hadoop's
+// central extensibility point.
+type InputFormat interface {
+	// Splits lists the splits for the job's input.
+	Splits(fs *hdfs.FileSystem, conf *JobConf) ([]Split, error)
+	// Open returns a RecordReader for the split, reading from the given
+	// node and charging work to stats. Formats read their configuration
+	// (e.g. column projections) from conf.
+	Open(fs *hdfs.FileSystem, conf *JobConf, split Split, node hdfs.NodeID, stats *sim.TaskStats) (RecordReader, error)
+}
+
+// RecordWriter persists job output pairs.
+type RecordWriter interface {
+	Write(key, value any) error
+	Close() error
+}
+
+// OutputFormat transforms job output pairs into a disk format — the dual of
+// InputFormat.
+type OutputFormat interface {
+	// Open returns a writer for one output partition.
+	Open(fs *hdfs.FileSystem, conf *JobConf, partition int, stats *sim.TaskStats) (RecordWriter, error)
+}
+
+// Emit passes a key/value pair out of a map or reduce function.
+type Emit func(key, value any) error
+
+// Mapper is a user map function.
+type Mapper interface {
+	Map(key, value any, emit Emit) error
+}
+
+// MapperFunc adapts a function to Mapper.
+type MapperFunc func(key, value any, emit Emit) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(key, value any, emit Emit) error { return f(key, value, emit) }
+
+// Reducer is a user reduce function. Values arrive in deterministic order.
+type Reducer interface {
+	Reduce(key any, values []any, emit Emit) error
+}
+
+// ReducerFunc adapts a function to Reducer.
+type ReducerFunc func(key any, values []any, emit Emit) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(key any, values []any, emit Emit) error { return f(key, values, emit) }
+
+// JobConf carries job configuration, mirroring Hadoop's JobConf: input
+// paths, output path, reducer count, and free-form properties that
+// InputFormats interpret (e.g. the CIF column projection).
+type JobConf struct {
+	InputPaths  []string
+	OutputPath  string
+	NumReducers int
+	Props       map[string]string
+}
+
+// Get returns a free-form property.
+func (c *JobConf) Get(key string) string {
+	if c.Props == nil {
+		return ""
+	}
+	return c.Props[key]
+}
+
+// Set assigns a free-form property.
+func (c *JobConf) Set(key, value string) {
+	if c.Props == nil {
+		c.Props = make(map[string]string)
+	}
+	c.Props[key] = value
+}
+
+// Job is a configured MapReduce job.
+type Job struct {
+	Conf    JobConf
+	Input   InputFormat
+	Output  OutputFormat
+	Mapper  Mapper
+	Reducer Reducer // nil for map-only jobs
+	// Combiner, when set, runs over each map task's output before the
+	// shuffle, like Hadoop's combiner: it must be associative and emit
+	// pairs of the same types it consumes.
+	Combiner Reducer
+}
+
+// Validate checks the job is runnable.
+func (j *Job) Validate() error {
+	if j.Input == nil {
+		return fmt.Errorf("mapred: job has no InputFormat")
+	}
+	if j.Mapper == nil {
+		return fmt.Errorf("mapred: job has no Mapper")
+	}
+	if j.Reducer != nil && j.Conf.NumReducers < 1 {
+		return fmt.Errorf("mapred: reducer set but NumReducers = %d", j.Conf.NumReducers)
+	}
+	if j.Combiner != nil && j.Reducer == nil {
+		return fmt.Errorf("mapred: combiner set without a reducer")
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package mapred
+
+import (
+	"testing"
+)
+
+func sumReducer() ReducerFunc {
+	return func(key any, values []any, emit Emit) error {
+		var sum int64
+		for _, v := range values {
+			sum += v.(int64)
+		}
+		return emit(key, sum)
+	}
+}
+
+// A combiner must not change the job's answer, only shrink the shuffle.
+func TestCombinerPreservesAnswerAndShrinksShuffle(t *testing.T) {
+	words := []string{"a", "b", "a", "a", "c", "b", "a", "a", "b", "c", "a", "a"}
+	build := func(withCombiner bool) (*Result, map[string]string) {
+		fs := testFS()
+		in := &memInput{splits: []*memSplit{
+			{id: 0, words: words[:6]},
+			{id: 1, words: words[6:]},
+		}}
+		job := &Job{
+			Conf:  JobConf{NumReducers: 1, OutputPath: "/out"},
+			Input: in,
+			Mapper: MapperFunc(func(key, value any, emit Emit) error {
+				return emit(value.(string), int64(1))
+			}),
+			Reducer: sumReducer(),
+			Output:  TextOutput{},
+		}
+		if withCombiner {
+			job.Combiner = sumReducer()
+		}
+		res, err := Run(fs, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := fs.ReadFile("/out/part-00000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]string{}
+		for _, line := range splitLines(string(data)) {
+			k, v, ok := cutTab(line)
+			if ok {
+				counts[k] = v
+			}
+		}
+		return res, counts
+	}
+
+	plain, plainCounts := build(false)
+	combined, combinedCounts := build(true)
+
+	want := map[string]string{"a": "7", "b": "3", "c": "2"}
+	for k, v := range want {
+		if plainCounts[k] != v || combinedCounts[k] != v {
+			t.Errorf("count[%s]: plain %q combined %q, want %q", k, plainCounts[k], combinedCounts[k], v)
+		}
+	}
+	if combined.Total.OutputRecords >= plain.Total.OutputRecords {
+		t.Errorf("combiner did not shrink shuffle: %d vs %d records",
+			combined.Total.OutputRecords, plain.Total.OutputRecords)
+	}
+	if combined.Total.OutputBytes >= plain.Total.OutputBytes {
+		t.Errorf("combiner did not shrink shuffle bytes: %d vs %d",
+			combined.Total.OutputBytes, plain.Total.OutputBytes)
+	}
+	// Each split has at most 3 distinct words, 2 splits: <= 6 combined pairs.
+	if combined.Total.OutputRecords > 6 {
+		t.Errorf("combined output records = %d, want <= 6", combined.Total.OutputRecords)
+	}
+}
+
+func TestCombinerWithoutReducerRejected(t *testing.T) {
+	job := &Job{
+		Input:    &memInput{},
+		Mapper:   MapperFunc(func(k, v any, e Emit) error { return nil }),
+		Combiner: sumReducer(),
+	}
+	if err := job.Validate(); err == nil {
+		t.Error("combiner without reducer should fail validation")
+	}
+}
+
+func TestCombinerErrorPropagates(t *testing.T) {
+	fs := testFS()
+	in := &memInput{splits: []*memSplit{{id: 0, words: []string{"x"}}}}
+	job := &Job{
+		Conf:  JobConf{NumReducers: 1},
+		Input: in,
+		Mapper: MapperFunc(func(key, value any, emit Emit) error {
+			return emit(value.(string), int64(1))
+		}),
+		Reducer: sumReducer(),
+		Combiner: ReducerFunc(func(key any, values []any, emit Emit) error {
+			return errBoom
+		}),
+	}
+	if _, err := Run(fs, job); err == nil {
+		t.Error("combiner error not propagated")
+	}
+}
+
+var errBoom = errFixed("boom")
+
+type errFixed string
+
+func (e errFixed) Error() string { return string(e) }
+
+func splitLines(s string) []string {
+	var out []string
+	for _, l := range splitOn(s, '\n') {
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func splitOn(s string, sep byte) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == sep {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+func cutTab(s string) (string, string, bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\t' {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}

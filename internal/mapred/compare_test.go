@@ -1,0 +1,90 @@
+package mapred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareOrdering(t *testing.T) {
+	ordered := []any{
+		nil,
+		false, true,
+		int32(-5), int32(7),
+		int64(-9), int64(100),
+		float64(-1.5), float64(2.5),
+		"a", "b",
+		[]byte{1}, []byte{2},
+	}
+	for i := range ordered {
+		for j := range ordered {
+			c, err := Compare(ordered[i], ordered[j])
+			if err != nil {
+				t.Fatalf("Compare(%v, %v): %v", ordered[i], ordered[j], err)
+			}
+			switch {
+			case i < j && c >= 0:
+				t.Errorf("Compare(%v, %v) = %d, want < 0", ordered[i], ordered[j], c)
+			case i > j && c <= 0:
+				t.Errorf("Compare(%v, %v) = %d, want > 0", ordered[i], ordered[j], c)
+			case i == j && c != 0:
+				t.Errorf("Compare(%v, %v) = %d, want 0", ordered[i], ordered[j], c)
+			}
+		}
+	}
+}
+
+func TestCompareUnsupported(t *testing.T) {
+	if _, err := Compare(struct{}{}, 1); err == nil {
+		t.Error("struct keys should be rejected")
+	}
+	if _, err := Compare("a", map[string]int{}); err == nil {
+		t.Error("map keys should be rejected")
+	}
+}
+
+func TestPartitionStableAndBounded(t *testing.T) {
+	f := func(key string, n uint8) bool {
+		reducers := int(n%8) + 1
+		p1, err := Partition(key, reducers)
+		if err != nil {
+			return false
+		}
+		p2, _ := Partition(key, reducers)
+		return p1 == p2 && p1 >= 0 && p1 < reducers
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionSingleReducer(t *testing.T) {
+	if p, err := Partition("anything", 1); err != nil || p != 0 {
+		t.Errorf("Partition(_, 1) = %d, %v", p, err)
+	}
+}
+
+func TestKeyBytesDistinct(t *testing.T) {
+	a, _ := KeyBytes(int32(1))
+	b, _ := KeyBytes(int32(2))
+	if string(a) == string(b) {
+		t.Error("distinct int32 keys encode identically")
+	}
+	if kb, err := KeyBytes(nil); err != nil || kb != nil {
+		t.Errorf("KeyBytes(nil) = %v, %v", kb, err)
+	}
+	if _, err := KeyBytes(struct{}{}); err == nil {
+		t.Error("struct should be rejected")
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	if SizeOf("hello") != 6 {
+		t.Errorf("SizeOf(hello) = %d", SizeOf("hello"))
+	}
+	if SizeOf(int64(1)) != 8 || SizeOf(int32(1)) != 4 || SizeOf(nil) != 1 {
+		t.Error("primitive sizes wrong")
+	}
+	if SizeOf([]byte{1, 2, 3}) != 4 {
+		t.Errorf("SizeOf([]byte) = %d", SizeOf([]byte{1, 2, 3}))
+	}
+}

@@ -1,0 +1,281 @@
+package mapred
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"colmr/internal/hdfs"
+	"colmr/internal/sim"
+)
+
+// memSplit / memInput: a synthetic InputFormat producing n records per
+// split, each (int32 index, string word).
+type memSplit struct {
+	id    int
+	words []string
+	hosts []hdfs.NodeID
+}
+
+func (s *memSplit) Hosts(fs *hdfs.FileSystem) []hdfs.NodeID { return s.hosts }
+func (s *memSplit) String() string                          { return fmt.Sprintf("mem-%d", s.id) }
+
+type memInput struct {
+	splits []*memSplit
+	// openNodes records which node each split was opened from. Guarded by
+	// mu: Open is called from concurrent map-task workers.
+	mu        sync.Mutex
+	openNodes map[int]hdfs.NodeID
+}
+
+func (m *memInput) Splits(fs *hdfs.FileSystem, conf *JobConf) ([]Split, error) {
+	out := make([]Split, len(m.splits))
+	for i, s := range m.splits {
+		out[i] = s
+	}
+	return out, nil
+}
+
+func (m *memInput) Open(fs *hdfs.FileSystem, conf *JobConf, split Split, node hdfs.NodeID, stats *sim.TaskStats) (RecordReader, error) {
+	s := split.(*memSplit)
+	if m.openNodes != nil {
+		m.mu.Lock()
+		m.openNodes[s.id] = node
+		m.mu.Unlock()
+	}
+	return &memReader{words: s.words}, nil
+}
+
+type memReader struct {
+	words []string
+	pos   int
+}
+
+func (r *memReader) Next() (any, any, bool, error) {
+	if r.pos >= len(r.words) {
+		return nil, nil, false, nil
+	}
+	k, v := int32(r.pos), r.words[r.pos]
+	r.pos++
+	return k, v, true, nil
+}
+
+func (r *memReader) Close() error { return nil }
+
+func testFS() *hdfs.FileSystem {
+	cfg := sim.DefaultCluster()
+	cfg.Nodes = 4
+	return hdfs.New(cfg, 1)
+}
+
+func wordCountJob(in InputFormat, reducers int) *Job {
+	return &Job{
+		Conf:  JobConf{NumReducers: reducers, OutputPath: "/out"},
+		Input: in,
+		Mapper: MapperFunc(func(key, value any, emit Emit) error {
+			return emit(value.(string), int64(1))
+		}),
+		Reducer: ReducerFunc(func(key any, values []any, emit Emit) error {
+			var sum int64
+			for _, v := range values {
+				sum += v.(int64)
+			}
+			return emit(key, sum)
+		}),
+		Output: TextOutput{},
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	fs := testFS()
+	in := &memInput{splits: []*memSplit{
+		{id: 0, words: []string{"a", "b", "a", "c"}},
+		{id: 1, words: []string{"b", "a"}},
+	}}
+	res, err := Run(fs, wordCountJob(in, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReduceGroups != 3 {
+		t.Errorf("ReduceGroups = %d, want 3", res.ReduceGroups)
+	}
+	if res.OutputRecords != 3 {
+		t.Errorf("OutputRecords = %d, want 3", res.OutputRecords)
+	}
+	if res.Total.RecordsProcessed != 6 {
+		t.Errorf("RecordsProcessed = %d, want 6", res.Total.RecordsProcessed)
+	}
+	if res.Total.OutputRecords != 6 {
+		t.Errorf("map OutputRecords = %d, want 6", res.Total.OutputRecords)
+	}
+
+	// Check written output across part files.
+	counts := map[string]string{}
+	for p := 0; p < 2; p++ {
+		data, err := fs.ReadFile(fmt.Sprintf("/out/part-%05d", p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if line == "" {
+				continue
+			}
+			parts := strings.SplitN(line, "\t", 2)
+			counts[parts[0]] = parts[1]
+		}
+	}
+	want := map[string]string{"a": "3", "b": "2", "c": "1"}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("count[%s] = %q, want %q", k, counts[k], v)
+		}
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	fs := testFS()
+	in := &memInput{splits: []*memSplit{{id: 0, words: []string{"x", "y"}}}}
+	job := &Job{
+		Conf:  JobConf{OutputPath: "/mapout"},
+		Input: in,
+		Mapper: MapperFunc(func(key, value any, emit Emit) error {
+			return emit(value, nil)
+		}),
+		Output: TextOutput{},
+	}
+	res, err := Run(fs, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutputRecords != 2 {
+		t.Errorf("OutputRecords = %d, want 2", res.OutputRecords)
+	}
+	if res.ReduceGroups != 0 {
+		t.Errorf("ReduceGroups = %d, want 0 for map-only", res.ReduceGroups)
+	}
+}
+
+func TestSchedulerPrefersLocalHosts(t *testing.T) {
+	fs := testFS()
+	in := &memInput{
+		openNodes: map[int]hdfs.NodeID{},
+		splits: []*memSplit{
+			{id: 0, words: []string{"a"}, hosts: []hdfs.NodeID{2}},
+			{id: 1, words: []string{"b"}, hosts: []hdfs.NodeID{3}},
+			{id: 2, words: []string{"c"}, hosts: nil}, // no preference
+		},
+	}
+	job := wordCountJob(in, 1)
+	if _, err := Run(fs, job); err != nil {
+		t.Fatal(err)
+	}
+	if in.openNodes[0] != 2 {
+		t.Errorf("split 0 ran on node %d, want 2", in.openNodes[0])
+	}
+	if in.openNodes[1] != 3 {
+		t.Errorf("split 1 ran on node %d, want 3", in.openNodes[1])
+	}
+	if n := in.openNodes[2]; n == 2 || n == 3 {
+		t.Errorf("unconstrained split ran on busy node %d, want load balancing", n)
+	}
+}
+
+func TestSchedulerBalancesLoad(t *testing.T) {
+	fs := testFS()
+	var splits []*memSplit
+	for i := 0; i < 16; i++ {
+		splits = append(splits, &memSplit{id: i, words: []string{"w"}})
+	}
+	in := &memInput{splits: splits, openNodes: map[int]hdfs.NodeID{}}
+	if _, err := Run(fs, wordCountJob(in, 1)); err != nil {
+		t.Fatal(err)
+	}
+	load := map[hdfs.NodeID]int{}
+	for _, n := range in.openNodes {
+		load[n]++
+	}
+	for node, l := range load {
+		if l != 4 {
+			t.Errorf("node %d got %d tasks, want 4 (16 splits / 4 nodes)", node, l)
+		}
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	if err := (&Job{}).Validate(); err == nil {
+		t.Error("empty job should fail validation")
+	}
+	j := &Job{Input: &memInput{}, Mapper: MapperFunc(func(k, v any, e Emit) error { return nil })}
+	if err := j.Validate(); err != nil {
+		t.Errorf("map-only job should validate: %v", err)
+	}
+	j.Reducer = ReducerFunc(func(k any, vs []any, e Emit) error { return nil })
+	if err := j.Validate(); err == nil {
+		t.Error("reducer with 0 reducers should fail")
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	fs := testFS()
+	in := &memInput{splits: []*memSplit{{id: 0, words: []string{"a"}}}}
+	job := &Job{
+		Conf:   JobConf{},
+		Input:  in,
+		Mapper: MapperFunc(func(k, v any, e Emit) error { return fmt.Errorf("boom") }),
+	}
+	if _, err := Run(fs, job); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("map error not propagated: %v", err)
+	}
+}
+
+func TestUnsupportedKeyTypeFails(t *testing.T) {
+	fs := testFS()
+	in := &memInput{splits: []*memSplit{{id: 0, words: []string{"a"}}}}
+	job := &Job{
+		Conf:  JobConf{},
+		Input: in,
+		Mapper: MapperFunc(func(k, v any, e Emit) error {
+			return e(struct{ X int }{1}, nil)
+		}),
+	}
+	if _, err := Run(fs, job); err == nil {
+		t.Error("emitting a struct key should fail")
+	}
+}
+
+func TestReduceInputDeterminism(t *testing.T) {
+	// Same inputs across two runs must give byte-identical reduce value
+	// orders (the engine sorts by key then value bytes).
+	run := func() []string {
+		fs := testFS()
+		in := &memInput{splits: []*memSplit{
+			{id: 0, words: []string{"k", "k", "k"}},
+			{id: 1, words: []string{"k", "k"}},
+		}}
+		var seen []string
+		job := &Job{
+			Conf:  JobConf{NumReducers: 1},
+			Input: in,
+			Mapper: MapperFunc(func(k, v any, e Emit) error {
+				return e(v, int64(k.(int32)))
+			}),
+			Reducer: ReducerFunc(func(k any, vs []any, e Emit) error {
+				for _, v := range vs {
+					seen = append(seen, fmt.Sprint(v))
+				}
+				return nil
+			}),
+		}
+		if _, err := Run(fs, job); err != nil {
+			t.Fatal(err)
+		}
+		return seen
+	}
+	a := strings.Join(run(), ",")
+	for i := 0; i < 5; i++ {
+		if b := strings.Join(run(), ","); a != b {
+			t.Fatalf("nondeterministic reduce input: %q vs %q", a, b)
+		}
+	}
+}

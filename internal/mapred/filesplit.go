@@ -1,0 +1,122 @@
+package mapred
+
+import (
+	"fmt"
+	"sort"
+
+	"colmr/internal/hdfs"
+)
+
+// FileSplit is a byte range of one file — the split shape used by
+// row-oriented formats (TXT, SEQ, RCFile). Start is inclusive, End
+// exclusive; format readers align the range to record boundaries (newlines
+// or sync markers) themselves.
+type FileSplit struct {
+	Path  string
+	Start int64
+	End   int64
+}
+
+// String implements Split.
+func (s *FileSplit) String() string {
+	return fmt.Sprintf("%s[%d:%d]", s.Path, s.Start, s.End)
+}
+
+// Hosts implements Split: nodes holding replicas of the range's blocks,
+// ranked by how many of the split's bytes they store locally.
+func (s *FileSplit) Hosts(fs *hdfs.FileSystem) []hdfs.NodeID {
+	locs, err := fs.BlockLocations(s.Path)
+	if err != nil {
+		return nil
+	}
+	blockSize := fs.Config().BlockSize
+	local := map[hdfs.NodeID]int64{}
+	for i, nodes := range locs {
+		bStart := int64(i) * blockSize
+		bEnd := bStart + blockSize
+		overlap := min64(bEnd, s.End) - max64(bStart, s.Start)
+		if overlap <= 0 {
+			continue
+		}
+		for _, n := range nodes {
+			local[n] += overlap
+		}
+	}
+	out := make([]hdfs.NodeID, 0, len(local))
+	for n := range local {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if local[out[i]] != local[out[j]] {
+			return local[out[i]] > local[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// SplitFiles carves every input file into FileSplits of roughly targetSize
+// bytes (at least one split per non-empty file).
+func SplitFiles(fs *hdfs.FileSystem, paths []string, targetSize int64) ([]Split, error) {
+	if targetSize <= 0 {
+		targetSize = fs.Config().BlockSize
+	}
+	var out []Split
+	for _, p := range paths {
+		files, err := expand(fs, p)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			size := fs.TotalSize(f)
+			if size == 0 {
+				continue
+			}
+			for off := int64(0); off < size; off += targetSize {
+				end := off + targetSize
+				if end > size {
+					end = size
+				}
+				out = append(out, &FileSplit{Path: f, Start: off, End: end})
+			}
+		}
+	}
+	return out, nil
+}
+
+// expand resolves a path to the regular files beneath it (one level for
+// directories, matching Hadoop's input-path behaviour).
+func expand(fs *hdfs.FileSystem, p string) ([]string, error) {
+	fi, err := fs.Stat(p)
+	if err != nil {
+		return nil, err
+	}
+	if !fi.IsDir {
+		return []string{p}, nil
+	}
+	infos, err := fs.List(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, fi := range infos {
+		if !fi.IsDir {
+			out = append(out, fi.Path)
+		}
+	}
+	return out, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+package mapred
+
+import (
+	"fmt"
+
+	"colmr/internal/hdfs"
+	"colmr/internal/sim"
+)
+
+// NullOutput discards job output (still counting it), for jobs measured
+// purely on their map/scan behaviour.
+type NullOutput struct{}
+
+// Open implements OutputFormat.
+func (NullOutput) Open(fs *hdfs.FileSystem, conf *JobConf, partition int, stats *sim.TaskStats) (RecordWriter, error) {
+	return nullWriter{}, nil
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(key, value any) error { return nil }
+func (nullWriter) Close() error               { return nil }
+
+// TextOutput writes "key<TAB>value" lines to part files under the job's
+// output path — Hadoop's TextOutputFormat.
+type TextOutput struct{}
+
+// Open implements OutputFormat.
+func (TextOutput) Open(fs *hdfs.FileSystem, conf *JobConf, partition int, stats *sim.TaskStats) (RecordWriter, error) {
+	if conf.OutputPath == "" {
+		return nil, fmt.Errorf("mapred: TextOutput requires an output path")
+	}
+	p := fmt.Sprintf("%s/part-%05d", conf.OutputPath, partition)
+	w, err := fs.Create(p, hdfs.AnyNode)
+	if err != nil {
+		return nil, err
+	}
+	if stats != nil {
+		w.SetStats(&stats.IO)
+	}
+	return &textWriter{w: w}, nil
+}
+
+type textWriter struct {
+	w   *hdfs.FileWriter
+	buf []byte
+}
+
+func (t *textWriter) Write(key, value any) error {
+	t.buf = t.buf[:0]
+	t.buf = appendText(t.buf, key)
+	t.buf = append(t.buf, '\t')
+	t.buf = appendText(t.buf, value)
+	t.buf = append(t.buf, '\n')
+	_, err := t.w.Write(t.buf)
+	return err
+}
+
+func (t *textWriter) Close() error { return t.w.Close() }
+
+func appendText(dst []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return dst
+	case string:
+		return append(dst, x...)
+	case []byte:
+		return append(dst, x...)
+	default:
+		return fmt.Appendf(dst, "%v", x)
+	}
+}

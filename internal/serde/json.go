@@ -1,0 +1,183 @@
+package serde
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Avro-compatible JSON schema interchange. The paper's record abstraction
+// is Avro's (Appendix A), and Avro schemas are JSON documents; these
+// helpers let colmr schemas round-trip through that representation:
+//
+//	{"type":"record","name":"URLInfo","fields":[
+//	  {"name":"url","type":"string"},
+//	  {"name":"fetchTime","type":{"type":"long","logicalType":"time"}},
+//	  {"name":"inlink","type":{"type":"array","items":"string"}},
+//	  {"name":"metadata","type":{"type":"map","values":"string"}},
+//	  {"name":"content","type":"bytes"}]}
+
+// jsonType is the JSON form of a schema node: either a primitive name
+// string or an object.
+type jsonType struct {
+	Type        string      `json:"type"`
+	LogicalType string      `json:"logicalType,omitempty"`
+	Name        string      `json:"name,omitempty"`
+	Items       any         `json:"items,omitempty"`
+	Values      any         `json:"values,omitempty"`
+	Fields      []jsonField `json:"fields,omitempty"`
+}
+
+type jsonField struct {
+	Name string `json:"name"`
+	Type any    `json:"type"`
+}
+
+// MarshalJSON renders the schema as an Avro-style JSON document.
+func (s *Schema) MarshalJSON() ([]byte, error) {
+	v, err := s.jsonValue()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(v)
+}
+
+func (s *Schema) jsonValue() (any, error) {
+	switch s.Kind {
+	case KindBool:
+		return "boolean", nil
+	case KindInt:
+		return "int", nil
+	case KindLong:
+		return "long", nil
+	case KindDouble:
+		return "double", nil
+	case KindString:
+		return "string", nil
+	case KindBytes:
+		return "bytes", nil
+	case KindTime:
+		return jsonType{Type: "long", LogicalType: "time"}, nil
+	case KindArray:
+		items, err := s.Elem.jsonValue()
+		if err != nil {
+			return nil, err
+		}
+		return jsonType{Type: "array", Items: items}, nil
+	case KindMap:
+		values, err := s.Elem.jsonValue()
+		if err != nil {
+			return nil, err
+		}
+		return jsonType{Type: "map", Values: values}, nil
+	case KindRecord:
+		fields := make([]jsonField, len(s.Fields))
+		for i, f := range s.Fields {
+			ft, err := f.Type.jsonValue()
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = jsonField{Name: f.Name, Type: ft}
+		}
+		return jsonType{Type: "record", Name: s.Name, Fields: fields}, nil
+	}
+	return nil, fmt.Errorf("serde: json: unknown kind %v", s.Kind)
+}
+
+// ParseJSON parses an Avro-style JSON schema document.
+func ParseJSON(data []byte) (*Schema, error) {
+	var raw any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("serde: json: %w", err)
+	}
+	s, err := schemaFromJSON(raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func schemaFromJSON(v any) (*Schema, error) {
+	switch x := v.(type) {
+	case string:
+		switch x {
+		case "boolean":
+			return Bool(), nil
+		case "int":
+			return Int(), nil
+		case "long":
+			return Long(), nil
+		case "double", "float":
+			return Double(), nil
+		case "string":
+			return String(), nil
+		case "bytes":
+			return Bytes(), nil
+		default:
+			return nil, fmt.Errorf("serde: json: unknown primitive %q", x)
+		}
+	case map[string]any:
+		typ, _ := x["type"].(string)
+		switch typ {
+		case "long":
+			if lt, _ := x["logicalType"].(string); lt == "time" || lt == "timestamp-millis" {
+				return Time(), nil
+			}
+			return Long(), nil
+		case "array":
+			items, ok := x["items"]
+			if !ok {
+				return nil, fmt.Errorf("serde: json: array without items")
+			}
+			elem, err := schemaFromJSON(items)
+			if err != nil {
+				return nil, err
+			}
+			return ArrayOf(elem), nil
+		case "map":
+			values, ok := x["values"]
+			if !ok {
+				return nil, fmt.Errorf("serde: json: map without values")
+			}
+			elem, err := schemaFromJSON(values)
+			if err != nil {
+				return nil, err
+			}
+			return MapOf(elem), nil
+		case "record":
+			name, _ := x["name"].(string)
+			rawFields, ok := x["fields"].([]any)
+			if !ok {
+				return nil, fmt.Errorf("serde: json: record %q without fields", name)
+			}
+			fields := make([]Field, 0, len(rawFields))
+			for i, rf := range rawFields {
+				fo, ok := rf.(map[string]any)
+				if !ok {
+					return nil, fmt.Errorf("serde: json: record %q field %d is not an object", name, i)
+				}
+				fname, _ := fo["name"].(string)
+				ftRaw, ok := fo["type"]
+				if !ok {
+					return nil, fmt.Errorf("serde: json: field %q has no type", fname)
+				}
+				ft, err := schemaFromJSON(ftRaw)
+				if err != nil {
+					return nil, fmt.Errorf("serde: json: field %q: %w", fname, err)
+				}
+				fields = append(fields, Field{Name: fname, Type: ft})
+			}
+			return RecordOf(name, fields...), nil
+		default:
+			// Primitive spelled as {"type":"int"}.
+			if typ != "" {
+				return schemaFromJSON(typ)
+			}
+			return nil, fmt.Errorf("serde: json: object without type")
+		}
+	default:
+		return nil, fmt.Errorf("serde: json: unsupported node %T", v)
+	}
+}

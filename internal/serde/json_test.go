@@ -1,0 +1,92 @@
+package serde
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	s := MustParse(urlInfoDSL)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSON(data)
+	if err != nil {
+		t.Fatalf("ParseJSON: %v\n%s", err, data)
+	}
+	if !s.Equal(got) {
+		t.Errorf("round trip differs:\n%s\nvs\n%s", s, got)
+	}
+}
+
+func TestSchemaJSONAvroShape(t *testing.T) {
+	s := MustParse(urlInfoDSL)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		`"type":"record"`,
+		`"name":"URLInfo"`,
+		`"type":"map"`,
+		`"values":"string"`,
+		`"items":"string"`,
+		`"logicalType":"time"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("JSON schema missing %s:\n%s", want, text)
+		}
+	}
+}
+
+func TestParseJSONExternalAvro(t *testing.T) {
+	// A hand-written Avro document (not produced by us) must parse.
+	src := `{
+	  "type": "record", "name": "Doc",
+	  "fields": [
+	    {"name": "id", "type": "string"},
+	    {"name": "score", "type": {"type": "double"}},
+	    {"name": "ts", "type": {"type": "long", "logicalType": "timestamp-millis"}},
+	    {"name": "tags", "type": {"type": "array", "items": "string"}},
+	    {"name": "props", "type": {"type": "map", "values": "int"}}
+	  ]
+	}`
+	s, err := ParseJSON([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Field("score").Kind != KindDouble {
+		t.Error("score should be double")
+	}
+	if s.Field("ts").Kind != KindTime {
+		t.Error("timestamp-millis should map to time")
+	}
+	if s.Field("tags").Elem.Kind != KindString {
+		t.Error("tags should be string[]")
+	}
+	if s.Field("props").Elem.Kind != KindInt {
+		t.Error("props should be map<int>")
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`42`,
+		`"wibble"`,
+		`{"type":"array"}`,
+		`{"type":"map"}`,
+		`{"type":"record","name":"X"}`,
+		`{"type":"record","name":"X","fields":[{"name":"a"}]}`,
+		`{"type":"record","name":"X","fields":[{"name":"a","type":"mystery"}]}`,
+		`{"nota":"type"}`,
+	}
+	for _, src := range bad {
+		if _, err := ParseJSON([]byte(src)); err == nil {
+			t.Errorf("ParseJSON(%q) succeeded, want error", src)
+		}
+	}
+}

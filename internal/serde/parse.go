@@ -1,0 +1,261 @@
+package serde
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a schema in the paper's Figure 2 style:
+//
+//	URLInfo {
+//	  string url,
+//	  string srcUrl,
+//	  time fetchTime,
+//	  string[] inlink,
+//	  map<string> metadata,
+//	  map<string> annotations,
+//	  bytes content
+//	}
+//
+// Grammar:
+//
+//	schema  := [name] record
+//	record  := "{" field ("," field)* [","] "}"
+//	field   := type name
+//	type    := base | type "[]" | "map" "<" type ">" | [name] record
+//	base    := bool | int | long | double | string | bytes | time
+//
+// Map keys are always strings, matching the paper's map columns. Trailing
+// commas and // line comments are permitted.
+func Parse(src string) (*Schema, error) {
+	p := &parser{toks: lex(src)}
+	s, err := p.parseTop()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("serde: parse: unexpected %q after schema", p.peek())
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustParse is Parse that panics on error, for compile-time-constant
+// schemas in tests and generators.
+func MustParse(src string) *Schema {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(t string) error {
+	if got := p.next(); got != t {
+		return fmt.Errorf("serde: parse: expected %q, got %q", t, got)
+	}
+	return nil
+}
+
+func (p *parser) parseTop() (*Schema, error) {
+	name := ""
+	if isIdent(p.peek()) && !isBaseType(p.peek()) {
+		name = p.next()
+	}
+	if p.peek() != "{" {
+		return nil, fmt.Errorf("serde: parse: expected '{', got %q", p.peek())
+	}
+	return p.parseRecord(name)
+}
+
+func (p *parser) parseRecord(name string) (*Schema, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var fields []Field
+	for p.peek() != "}" {
+		if p.eof() {
+			return nil, fmt.Errorf("serde: parse: unterminated record %q", name)
+		}
+		ft, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fname := p.next()
+		if !isIdent(fname) {
+			return nil, fmt.Errorf("serde: parse: expected field name, got %q", fname)
+		}
+		fields = append(fields, Field{Name: fname, Type: ft})
+		if p.peek() == "," {
+			p.next()
+		} else if p.peek() != "}" {
+			return nil, fmt.Errorf("serde: parse: expected ',' or '}', got %q", p.peek())
+		}
+	}
+	p.next() // consume }
+	return RecordOf(name, fields...), nil
+}
+
+func (p *parser) parseType() (*Schema, error) {
+	var base *Schema
+	tok := p.peek()
+	switch {
+	case tok == "map":
+		p.next()
+		if err := p.expect("<"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		// Tolerate the two-type spelling Map<String,String> from the paper's
+		// Java schema: a leading "string," key type is accepted and dropped.
+		if p.peek() == "," {
+			p.next()
+			if elem.Kind != KindString {
+				return nil, fmt.Errorf("serde: parse: map keys must be strings")
+			}
+			elem, err = p.parseType()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(">"); err != nil {
+			return nil, err
+		}
+		base = MapOf(elem)
+	case isBaseType(tok):
+		p.next()
+		base = baseSchema(tok)
+	case tok == "{":
+		rec, err := p.parseRecord("")
+		if err != nil {
+			return nil, err
+		}
+		base = rec
+	case isIdent(tok):
+		// Named nested record: "Name { ... }".
+		p.next()
+		if p.peek() != "{" {
+			return nil, fmt.Errorf("serde: parse: unknown type %q", tok)
+		}
+		rec, err := p.parseRecord(tok)
+		if err != nil {
+			return nil, err
+		}
+		base = rec
+	default:
+		return nil, fmt.Errorf("serde: parse: expected type, got %q", tok)
+	}
+	for p.peek() == "[]" {
+		p.next()
+		base = ArrayOf(base)
+	}
+	return base, nil
+}
+
+func isBaseType(t string) bool {
+	switch strings.ToLower(t) {
+	case "bool", "boolean", "int", "long", "double", "float", "string", "utf8", "bytes", "time":
+		return true
+	}
+	return false
+}
+
+func baseSchema(t string) *Schema {
+	switch strings.ToLower(t) {
+	case "bool", "boolean":
+		return Bool()
+	case "int":
+		return Int()
+	case "long":
+		return Long()
+	case "double", "float":
+		return Double()
+	case "string", "utf8":
+		return String()
+	case "bytes":
+		return Bytes()
+	case "time":
+		return Time()
+	}
+	return nil
+}
+
+func isIdent(t string) bool {
+	if t == "" {
+		return false
+	}
+	for i, r := range t {
+		if i == 0 && !unicode.IsLetter(r) && r != '_' {
+			return false
+		}
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// lex splits the source into tokens: identifiers, punctuation ({ } < > ,),
+// and the two-character token "[]". Line comments are stripped.
+func lex(src string) []string {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '[' && i+1 < len(src) && src[i+1] == ']':
+			toks = append(toks, "[]")
+			i += 2
+		case strings.ContainsRune("{}<>,", rune(c)):
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune("{}<>,[] \t\n\r/", rune(src[j])) {
+				j++
+			}
+			if j == i {
+				// Unknown single character; emit it and let the parser
+				// produce a useful error.
+				toks = append(toks, string(c))
+				i++
+			} else {
+				toks = append(toks, src[i:j])
+				i = j
+			}
+		}
+	}
+	return toks
+}

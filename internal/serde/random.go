@@ -1,0 +1,63 @@
+package serde
+
+import (
+	"math/rand"
+)
+
+// RandomValue generates a pseudorandom value conforming to s, for property
+// tests and workload generation. Sizes are kept modest (strings <= 24
+// bytes, containers <= 6 elements) so deeply nested schemas stay bounded.
+func RandomValue(rng *rand.Rand, s *Schema) any {
+	switch s.Kind {
+	case KindBool:
+		return rng.Intn(2) == 0
+	case KindInt:
+		return int32(rng.Int63()) // full 32-bit range incl. negatives
+	case KindLong, KindTime:
+		return rng.Int63() - rng.Int63()
+	case KindDouble:
+		return rng.NormFloat64() * 1e6
+	case KindString:
+		return randString(rng, rng.Intn(25))
+	case KindBytes:
+		b := make([]byte, rng.Intn(25))
+		rng.Read(b)
+		return b
+	case KindArray:
+		n := rng.Intn(7)
+		arr := make([]any, n)
+		for i := range arr {
+			arr[i] = RandomValue(rng, s.Elem)
+		}
+		return arr
+	case KindMap:
+		n := rng.Intn(7)
+		m := make(map[string]any, n)
+		for i := 0; i < n; i++ {
+			m[randString(rng, 1+rng.Intn(8))] = RandomValue(rng, s.Elem)
+		}
+		return m
+	case KindRecord:
+		return RandomRecord(rng, s)
+	}
+	return nil
+}
+
+// RandomRecord generates a fully populated pseudorandom record.
+func RandomRecord(rng *rand.Rand, s *Schema) *GenericRecord {
+	r := NewRecord(s)
+	for i, f := range s.Fields {
+		r.values[i] = RandomValue(rng, f.Type)
+	}
+	return r
+}
+
+const randAlphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-./:"
+
+func randString(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = randAlphabet[rng.Intn(len(randAlphabet))]
+	}
+	return string(b)
+}

@@ -1,0 +1,174 @@
+package sim
+
+// IOStats accumulates disk and network traffic observed by one or more HDFS
+// streams. Bytes are charged at transfer-unit granularity by the filesystem
+// layer, so ChargedBytes >= LogicalBytes whenever reads are short or
+// scattered; the gap is exactly the prefetch waste the paper attributes to
+// RCFile (Section 4.1).
+type IOStats struct {
+	// LocalBytes is bytes served from a replica on the reading node,
+	// charged at transfer-unit granularity.
+	LocalBytes int64
+	// RemoteBytes is bytes served over the network from another node,
+	// charged at transfer-unit granularity.
+	RemoteBytes int64
+	// LogicalBytes is the bytes actually delivered to the caller.
+	LogicalBytes int64
+	// Seeks is the number of disk seeks (intra-stream jumps and
+	// multi-stream interleave switches). Seeks grow linearly with data
+	// volume for a fixed layout, so they extrapolate cleanly.
+	Seeks int64
+	// InterleavedBytes counts bytes fetched while other column streams of
+	// the same scan were active on the same disks. They are priced as
+	// fractional seek time per readahead window (one arm movement per
+	// refill), a formulation that is exactly linear in data volume and so
+	// survives scale extrapolation without rounding artifacts.
+	InterleavedBytes int64
+	// Opens counts first reads of a stream. They are tracked separately
+	// from Seeks because they are a per-file constant: extrapolating them
+	// linearly from a laptop-scale sample (whose files are much smaller
+	// than production blocks) would fabricate seek time. The cost model
+	// leaves them unpriced; at production geometry they are bounded by
+	// files-per-dataset x seek time, which is negligible next to refill
+	// seeks.
+	Opens int64
+	// BytesWritten is bytes written through the filesystem (load paths).
+	BytesWritten int64
+}
+
+// Add accumulates o into s.
+func (s *IOStats) Add(o IOStats) {
+	s.LocalBytes += o.LocalBytes
+	s.RemoteBytes += o.RemoteBytes
+	s.LogicalBytes += o.LogicalBytes
+	s.Seeks += o.Seeks
+	s.InterleavedBytes += o.InterleavedBytes
+	s.Opens += o.Opens
+	s.BytesWritten += o.BytesWritten
+}
+
+// Scale multiplies every counter by k. Used to extrapolate a laptop-scale
+// measurement to the paper's dataset size; all counters are linear in
+// dataset size for a fixed layout geometry.
+func (s *IOStats) Scale(k float64) {
+	s.LocalBytes = scaleInt(s.LocalBytes, k)
+	s.RemoteBytes = scaleInt(s.RemoteBytes, k)
+	s.LogicalBytes = scaleInt(s.LogicalBytes, k)
+	s.Seeks = scaleInt(s.Seeks, k)
+	s.InterleavedBytes = scaleInt(s.InterleavedBytes, k)
+	s.Opens = scaleInt(s.Opens, k)
+	s.BytesWritten = scaleInt(s.BytesWritten, k)
+}
+
+// TotalChargedBytes is the total traffic charged to disks and network.
+func (s IOStats) TotalChargedBytes() int64 { return s.LocalBytes + s.RemoteBytes }
+
+// CPUStats accumulates deserialization, parsing, and decompression work
+// performed by decoders. Each counter is in bytes of *output* (decoded or
+// decompressed) data, except the record/value counters.
+type CPUStats struct {
+	// RawBytes is bytes moved without element-wise decoding (byte-array
+	// columns, block copies).
+	RawBytes int64
+	// IntBytes is bytes decoded as boxed integers/longs.
+	IntBytes int64
+	// DoubleBytes is bytes decoded as boxed doubles.
+	DoubleBytes int64
+	// StringBytes is bytes decoded into string objects.
+	StringBytes int64
+	// MapBytes is bytes decoded into map/array/nested-record structures
+	// (object-churn-heavy complex types).
+	MapBytes int64
+	// TextBytes is bytes parsed from delimited text (TXT format).
+	TextBytes int64
+	// SkippedBytes is bytes skipped via skip lists without deserialization.
+	SkippedBytes int64
+	// ZlibBytes / LzoBytes / DictBytes are bytes of decompressed output
+	// produced by each codec.
+	ZlibBytes int64
+	LzoBytes  int64
+	DictBytes int64
+	// ZlibCompBytes / LzoCompBytes / DictCompBytes are bytes of input
+	// consumed by each compressor (load paths).
+	ZlibCompBytes int64
+	LzoCompBytes  int64
+	DictCompBytes int64
+	// RecordsMaterialized is the number of record objects constructed.
+	RecordsMaterialized int64
+	// ValuesMaterialized is the number of field values deserialized into
+	// objects.
+	ValuesMaterialized int64
+}
+
+// Add accumulates o into s.
+func (s *CPUStats) Add(o CPUStats) {
+	s.RawBytes += o.RawBytes
+	s.IntBytes += o.IntBytes
+	s.DoubleBytes += o.DoubleBytes
+	s.StringBytes += o.StringBytes
+	s.MapBytes += o.MapBytes
+	s.TextBytes += o.TextBytes
+	s.SkippedBytes += o.SkippedBytes
+	s.ZlibBytes += o.ZlibBytes
+	s.LzoBytes += o.LzoBytes
+	s.DictBytes += o.DictBytes
+	s.ZlibCompBytes += o.ZlibCompBytes
+	s.LzoCompBytes += o.LzoCompBytes
+	s.DictCompBytes += o.DictCompBytes
+	s.RecordsMaterialized += o.RecordsMaterialized
+	s.ValuesMaterialized += o.ValuesMaterialized
+}
+
+// Scale multiplies every counter by k.
+func (s *CPUStats) Scale(k float64) {
+	s.RawBytes = scaleInt(s.RawBytes, k)
+	s.IntBytes = scaleInt(s.IntBytes, k)
+	s.DoubleBytes = scaleInt(s.DoubleBytes, k)
+	s.StringBytes = scaleInt(s.StringBytes, k)
+	s.MapBytes = scaleInt(s.MapBytes, k)
+	s.TextBytes = scaleInt(s.TextBytes, k)
+	s.SkippedBytes = scaleInt(s.SkippedBytes, k)
+	s.ZlibBytes = scaleInt(s.ZlibBytes, k)
+	s.LzoBytes = scaleInt(s.LzoBytes, k)
+	s.DictBytes = scaleInt(s.DictBytes, k)
+	s.ZlibCompBytes = scaleInt(s.ZlibCompBytes, k)
+	s.LzoCompBytes = scaleInt(s.LzoCompBytes, k)
+	s.DictCompBytes = scaleInt(s.DictCompBytes, k)
+	s.RecordsMaterialized = scaleInt(s.RecordsMaterialized, k)
+	s.ValuesMaterialized = scaleInt(s.ValuesMaterialized, k)
+}
+
+// TaskStats is the complete work profile of one task (or one scan).
+type TaskStats struct {
+	IO  IOStats
+	CPU CPUStats
+	// RecordsProcessed is the number of records delivered to the map
+	// function (curPos advances, whether or not fields were deserialized).
+	RecordsProcessed int64
+	// OutputBytes is the bytes of map output emitted (drives shuffle cost).
+	OutputBytes int64
+	// OutputRecords is the number of key/value pairs emitted.
+	OutputRecords int64
+}
+
+// Add accumulates o into s.
+func (s *TaskStats) Add(o TaskStats) {
+	s.IO.Add(o.IO)
+	s.CPU.Add(o.CPU)
+	s.RecordsProcessed += o.RecordsProcessed
+	s.OutputBytes += o.OutputBytes
+	s.OutputRecords += o.OutputRecords
+}
+
+// Scale multiplies every counter by k.
+func (s *TaskStats) Scale(k float64) {
+	s.IO.Scale(k)
+	s.CPU.Scale(k)
+	s.RecordsProcessed = scaleInt(s.RecordsProcessed, k)
+	s.OutputBytes = scaleInt(s.OutputBytes, k)
+	s.OutputRecords = scaleInt(s.OutputRecords, k)
+}
+
+func scaleInt(v int64, k float64) int64 {
+	return int64(float64(v)*k + 0.5)
+}

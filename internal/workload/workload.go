@@ -1,0 +1,374 @@
+// Package workload generates the paper's four experimental datasets,
+// deterministically from a seed:
+//
+//   - Synthetic (Section 6.2): 6 random strings (20-40 chars), 6 random
+//     integers in [1,10000], and a 10-entry map with 4-char string keys and
+//     integer values. 57 GB of this in SEQ format drives Figure 7/9.
+//   - Crawl (Section 6.3, Figure 2's URLInfo): an intranet-crawl simulacrum
+//     with ~6% of URLs matching "ibm.com/jp", HTTP-header metadata maps, an
+//     annotations map, an inlink array, and a several-KB content column
+//     that dominates record size. 6.4 TB of this drives Table 1.
+//   - Wide (Appendix B.5): records of 20/40/80 string columns, 30 chars
+//     each, for the record-width sweep of Figure 11.
+//   - TypedFrac (Appendix B.1): 1000-byte records in which a fraction f of
+//     the bytes are typed values (integers, doubles, or map entries) and
+//     the rest is an opaque byte array, for the deserialization-rate
+//     microbenchmark of Figure 8.
+//
+// Generators return the record at any index i without generating its
+// predecessors, so laptop-scale samples extrapolate cleanly.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"colmr/internal/serde"
+)
+
+// recordRNG derives an independent generator for record i: samples are
+// reproducible and index-addressable.
+func recordRNG(seed int64, i int64) *rand.Rand {
+	h := uint64(seed)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	h *= 0x94D049BB133111EB
+	h ^= h >> 29
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+const readableASCII = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,-_/"
+
+func randReadable(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = readableASCII[rng.Intn(len(readableASCII))]
+	}
+	return string(b)
+}
+
+// Synthetic generates the Section 6.2 microbenchmark dataset.
+type Synthetic struct {
+	seed   int64
+	schema *serde.Schema
+}
+
+// NewSynthetic returns the Section 6.2 generator.
+func NewSynthetic(seed int64) *Synthetic {
+	fields := make([]serde.Field, 0, 13)
+	for i := 0; i < 6; i++ {
+		fields = append(fields, serde.Field{Name: fmt.Sprintf("str%d", i), Type: serde.String()})
+	}
+	for i := 0; i < 6; i++ {
+		fields = append(fields, serde.Field{Name: fmt.Sprintf("int%d", i), Type: serde.Int()})
+	}
+	fields = append(fields, serde.Field{Name: "map0", Type: serde.MapOf(serde.Int())})
+	return &Synthetic{seed: seed, schema: serde.RecordOf("Synthetic", fields...)}
+}
+
+// Schema returns the dataset schema.
+func (s *Synthetic) Schema() *serde.Schema { return s.schema }
+
+// Record generates record i.
+func (s *Synthetic) Record(i int64) *serde.GenericRecord {
+	rng := recordRNG(s.seed, i)
+	rec := serde.NewRecord(s.schema)
+	for f := 0; f < 6; f++ {
+		rec.SetAt(f, randReadable(rng, 20+rng.Intn(21))) // 20-40 chars
+	}
+	for f := 0; f < 6; f++ {
+		rec.SetAt(6+f, int32(1+rng.Intn(10000)))
+	}
+	m := make(map[string]any, 10)
+	for len(m) < 10 {
+		m[randReadable(rng, 4)] = int32(rng.Intn(10000))
+	}
+	rec.SetAt(12, m)
+	return rec
+}
+
+// CrawlOptions parameterizes the crawl generator.
+type CrawlOptions struct {
+	// Seed makes the dataset reproducible.
+	Seed int64
+	// Selectivity is the fraction of URLs containing MatchPattern
+	// (the paper's predicate selects ~6%).
+	Selectivity float64
+	// ContentBytes is the mean size of the content column ("several KB of
+	// data for each record").
+	ContentBytes int
+	// Inlinks is the mean length of the inlink array.
+	Inlinks int
+}
+
+// MatchPattern is the substring the paper's example job filters on.
+const MatchPattern = "ibm.com/jp"
+
+func (o CrawlOptions) withDefaults() CrawlOptions {
+	if o.Selectivity == 0 {
+		o.Selectivity = 0.06
+	}
+	if o.ContentBytes == 0 {
+		// Crawled pages are content-dominated: the paper's job that never
+		// touches content reads only ~1.5% of the dataset (96 GB of
+		// 6.4 TB), which fixes the content:metadata proportions.
+		o.ContentBytes = 12000
+	}
+	if o.Inlinks == 0 {
+		o.Inlinks = 8
+	}
+	return o
+}
+
+// Crawl generates URLInfo records per Figure 2.
+type Crawl struct {
+	opts   CrawlOptions
+	schema *serde.Schema
+}
+
+// CrawlSchema is the paper's Figure 2 schema.
+var crawlSchemaDSL = `
+URLInfo {
+  string url,
+  string srcUrl,
+  time fetchTime,
+  string[] inlink,
+  map<string> metadata,
+  map<string> annotations,
+  bytes content
+}`
+
+// NewCrawl returns a crawl-dataset generator.
+func NewCrawl(opts CrawlOptions) *Crawl {
+	return &Crawl{opts: opts.withDefaults(), schema: serde.MustParse(crawlSchemaDSL)}
+}
+
+// Schema returns the URLInfo schema.
+func (c *Crawl) Schema() *serde.Schema { return c.schema }
+
+// ContentTypes is the universe of content-type values — the answer set of
+// the paper's "distinct content-types" job.
+var ContentTypes = []string{
+	"text/html", "text/plain", "application/pdf", "application/msword",
+	"application/xml", "image/jpeg", "text/css", "application/javascript",
+}
+
+// metadataKeys is the limited key universe that makes metadata maps
+// dictionary-compressible (Section 5.3).
+var metadataKeys = []string{
+	"content-length", "server", "last-modified", "etag", "cache-control",
+	"expires", "vary", "connection", "x-powered-by",
+}
+
+var annotationKeys = []string{
+	"lang", "charset", "title-tokens", "outdegree", "pagerank-bucket", "mime-guess",
+}
+
+var hosts = []string{
+	"w3.example.com", "intranet.example.com", "wiki.example.com",
+	"portal.example.com", "docs.example.com", "hr.example.com",
+	"eng.example.com", "support.example.com",
+}
+
+// Matches reports whether record i's URL contains MatchPattern, without
+// generating the record.
+func (c *Crawl) Matches(i int64) bool {
+	rng := recordRNG(c.opts.Seed, i)
+	return rng.Float64() < c.opts.Selectivity
+}
+
+// Record generates record i.
+func (c *Crawl) Record(i int64) *serde.GenericRecord {
+	rng := recordRNG(c.opts.Seed, i)
+	match := rng.Float64() < c.opts.Selectivity
+	rec := serde.NewRecord(c.schema)
+
+	host := hosts[rng.Intn(len(hosts))]
+	path := fmt.Sprintf("/pages/%d/%s.html", i, randReadable(rng, 6))
+	if match {
+		rec.SetAt(0, "http://www.ibm.com/jp"+path)
+	} else {
+		rec.SetAt(0, "http://"+host+path)
+	}
+	rec.SetAt(1, "http://"+hosts[rng.Intn(len(hosts))]+"/index.html")
+	rec.SetAt(2, int64(1293840000000+i*1000)) // fetchTime
+
+	nIn := rng.Intn(2*c.opts.Inlinks + 1)
+	inlinks := make([]any, nIn)
+	for j := range inlinks {
+		inlinks[j] = "http://" + hosts[rng.Intn(len(hosts))] + "/" + randReadable(rng, 8)
+	}
+	rec.SetAt(3, inlinks)
+
+	meta := map[string]any{
+		"content-type": ContentTypes[rng.Intn(len(ContentTypes))],
+	}
+	for _, k := range metadataKeys {
+		if rng.Float64() < 0.35 {
+			meta[k] = randReadable(rng, 4+rng.Intn(8))
+		}
+	}
+	rec.SetAt(4, meta)
+
+	ann := map[string]any{}
+	for _, k := range annotationKeys {
+		if rng.Float64() < 0.5 {
+			ann[k] = randReadable(rng, 3+rng.Intn(10))
+		}
+	}
+	rec.SetAt(5, ann)
+
+	n := c.opts.ContentBytes/2 + rng.Intn(c.opts.ContentBytes+1)
+	rec.SetAt(6, pageContent(rng, n))
+	return rec
+}
+
+// contentVocab is the word pool page bodies are drawn from. Natural-language
+// pages compress 2-3x with an LZ77 codec; sampling words from a small
+// vocabulary (rather than random characters) reproduces that ratio, which
+// the SEQ-custom and compressed-CIF variants of Table 1 depend on.
+var contentVocab = func() []string {
+	rng := rand.New(rand.NewSource(424242))
+	words := make([]string, 512)
+	for i := range words {
+		words[i] = randReadable(rng, 3+rng.Intn(8))
+	}
+	return words
+}()
+
+var contentTags = []string{"<div>", "</div>", "<p>", "</p>", "<a href=\"", "\">", "</a>", "<span>", "</span>", "<li>"}
+
+// pageContent builds n bytes of HTML-ish text: markup interspersed with
+// vocabulary words.
+func pageContent(rng *rand.Rand, n int) []byte {
+	content := make([]byte, 0, n+16)
+	for len(content) < n {
+		content = append(content, contentTags[rng.Intn(len(contentTags))]...)
+		for w := 0; w < 4 && len(content) < n; w++ {
+			content = append(content, contentVocab[rng.Intn(len(contentVocab))]...)
+			content = append(content, ' ')
+		}
+	}
+	return content[:n]
+}
+
+// Wide generates Appendix B.5's wide-record datasets.
+type Wide struct {
+	seed   int64
+	schema *serde.Schema
+}
+
+// NewWide returns a generator with the given number of 30-char string
+// columns.
+func NewWide(seed int64, columns int) *Wide {
+	fields := make([]serde.Field, columns)
+	for i := range fields {
+		fields[i] = serde.Field{Name: fmt.Sprintf("c%02d", i), Type: serde.String()}
+	}
+	return &Wide{seed: seed, schema: serde.RecordOf("Wide", fields...)}
+}
+
+// Schema returns the dataset schema.
+func (w *Wide) Schema() *serde.Schema { return w.schema }
+
+// Record generates record i.
+func (w *Wide) Record(i int64) *serde.GenericRecord {
+	rng := recordRNG(w.seed, i)
+	rec := serde.NewRecord(w.schema)
+	for f := range w.schema.Fields {
+		rec.SetAt(f, randReadable(rng, 30))
+	}
+	return rec
+}
+
+// TypedKind selects the typed portion of a TypedFrac record.
+type TypedKind int
+
+// Typed portions for Figure 8.
+const (
+	TypedInts TypedKind = iota
+	TypedDoubles
+	TypedMaps
+)
+
+// String returns the kind's display name.
+func (k TypedKind) String() string {
+	switch k {
+	case TypedInts:
+		return "integers"
+	case TypedDoubles:
+		return "doubles"
+	case TypedMaps:
+		return "maps"
+	default:
+		return fmt.Sprintf("typedkind(%d)", int(k))
+	}
+}
+
+// TypedFrac generates Appendix B.1's records: RecordBytes bytes per record,
+// a fraction f of which is typed data and the rest an opaque byte array.
+type TypedFrac struct {
+	seed   int64
+	kind   TypedKind
+	f      float64
+	schema *serde.Schema
+}
+
+// RecordBytes is the Appendix B.1 record size.
+const RecordBytes = 1000
+
+// NewTypedFrac returns a generator for the given typed kind and fraction
+// f in [0,1].
+func NewTypedFrac(seed int64, kind TypedKind, f float64) *TypedFrac {
+	var typed *serde.Schema
+	switch kind {
+	case TypedInts:
+		typed = serde.ArrayOf(serde.Int())
+	case TypedDoubles:
+		typed = serde.ArrayOf(serde.Double())
+	case TypedMaps:
+		typed = serde.ArrayOf(serde.MapOf(serde.Int()))
+	}
+	schema := serde.RecordOf("TypedFrac",
+		serde.Field{Name: "typed", Type: typed},
+		serde.Field{Name: "pad", Type: serde.Bytes()},
+	)
+	return &TypedFrac{seed: seed, kind: kind, f: f, schema: schema}
+}
+
+// Schema returns the dataset schema.
+func (t *TypedFrac) Schema() *serde.Schema { return t.schema }
+
+// Record generates record i: ~f*RecordBytes bytes of typed values, the
+// remainder an uninterpreted byte array.
+func (t *TypedFrac) Record(i int64) *serde.GenericRecord {
+	rng := recordRNG(t.seed, i)
+	rec := serde.NewRecord(t.schema)
+	typedBytes := int(t.f * RecordBytes)
+	var arr []any
+	switch t.kind {
+	case TypedInts:
+		// ~5 encoded bytes per random int32.
+		for n := 0; n < typedBytes; n += 5 {
+			arr = append(arr, int32(rng.Int63()))
+		}
+	case TypedDoubles:
+		for n := 0; n < typedBytes; n += 8 {
+			arr = append(arr, rng.NormFloat64())
+		}
+	case TypedMaps:
+		// The paper's maps: 4 entries, short mutable-string keys, int
+		// values — about 40 encoded bytes per map.
+		for n := 0; n < typedBytes; n += 40 {
+			m := make(map[string]any, 4)
+			for len(m) < 4 {
+				m[randReadable(rng, 5)] = int32(rng.Intn(1000))
+			}
+			arr = append(arr, m)
+		}
+	}
+	rec.SetAt(0, arr)
+	pad := make([]byte, RecordBytes-typedBytes)
+	rng.Read(pad)
+	rec.SetAt(1, pad)
+	return rec
+}
