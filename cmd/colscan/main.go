@@ -3,10 +3,15 @@
 // deserialization work, and the modeled single-node scan time — the
 // paper's Section 6.2 methodology on demand.
 //
+// A -where expression adds a selection predicate: CIF pushes it into the
+// scan (zone-map pruning plus filter-column evaluation), while SEQ and
+// RCFile scan every record and filter afterwards — the comparison the
+// selectivity benchmark systematizes.
+//
 // Usage:
 //
 //	colscan [-workload synthetic|crawl] [-records N] [-columns url,metadata]
-//	        [-lazy] [-seed N]
+//	        [-where 'prefix(url, "http://ibm.com")'] [-lazy] [-seed N]
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"colmr/internal/formats/seq"
 	"colmr/internal/hdfs"
 	"colmr/internal/mapred"
+	"colmr/internal/scan"
 	"colmr/internal/serde"
 	"colmr/internal/sim"
 	"colmr/internal/workload"
@@ -36,10 +42,20 @@ func main() {
 		kind    = flag.String("workload", "synthetic", "dataset (synthetic, crawl)")
 		records = flag.Int64("records", 20000, "number of records")
 		columns = flag.String("columns", "", "comma-separated projection (empty = all columns)")
+		where   = flag.String("where", "", `selection predicate, e.g. 'int0 <= 100 && prefix(str0, "ab")'`)
 		lazy    = flag.Bool("lazy", false, "use lazy record construction for CIF")
 		seed    = flag.Int64("seed", 2011, "generator seed")
 	)
 	flag.Parse()
+
+	var pred scan.Predicate
+	if *where != "" {
+		var err error
+		if pred, err = scan.Parse(*where); err != nil {
+			fmt.Fprintf(os.Stderr, "colscan: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	var gen generator
 	switch *kind {
@@ -95,15 +111,19 @@ func main() {
 	}
 
 	type result struct {
-		name string
-		st   sim.TaskStats
+		name    string
+		st      sim.TaskStats
+		matched int64
 	}
 	var results []result
 
-	scan := func(name string, in mapred.InputFormat, conf *mapred.JobConf) {
+	// pushdown formats carry the predicate inside the reader; the others
+	// scan every record and filter here, after materialization.
+	runScan := func(name string, in mapred.InputFormat, conf *mapred.JobConf, pushdown bool) {
 		splits, err := in.Splits(fs, conf)
 		check(err)
 		var total sim.TaskStats
+		var matched int64
 		for _, sp := range splits {
 			var st sim.TaskStats
 			rr, err := in.Open(fs, conf, sp, 0, &st)
@@ -114,7 +134,17 @@ func main() {
 				if !ok {
 					break
 				}
-				if rec, isRec := v.(serde.Record); isRec && len(proj) > 0 {
+				rec, isRec := v.(serde.Record)
+				if isRec && pred != nil && !pushdown {
+					ok, err := pred.Eval(func(col string) (any, error) { return rec.Get(col) })
+					check(err)
+					if !ok {
+						st.RecordsProcessed++
+						continue
+					}
+				}
+				matched++
+				if isRec && len(proj) > 0 {
 					// Touch the projected fields, as a map function would.
 					for _, c := range proj {
 						if _, err := rec.Get(c); err != nil {
@@ -127,33 +157,46 @@ func main() {
 			check(rr.Close())
 			total.Add(st)
 		}
-		results = append(results, result{name, total})
+		results = append(results, result{name, total, matched})
 	}
 
-	scan("SEQ", &seq.InputFormat{}, &mapred.JobConf{InputPaths: []string{"/s/data.seq"}})
-	rconf := &mapred.JobConf{InputPaths: []string{"/s/data.rc"}}
-	if proj != nil {
-		rcfile.SetColumns(rconf, proj...)
+	// Scan-then-filter formats must project the filter columns too; CIF
+	// opens them below the projection on its own. Columns dedups against
+	// the slice it extends.
+	filterProj := proj
+	if pred != nil && proj != nil {
+		filterProj = pred.Columns(append([]string(nil), proj...))
 	}
-	scan("RCFile", &rcfile.InputFormat{}, rconf)
+
+	runScan("SEQ", &seq.InputFormat{}, &mapred.JobConf{InputPaths: []string{"/s/data.seq"}}, false)
+	rconf := &mapred.JobConf{InputPaths: []string{"/s/data.rc"}}
+	if filterProj != nil {
+		rcfile.SetColumns(rconf, filterProj...)
+	}
+	runScan("RCFile", &rcfile.InputFormat{}, rconf, false)
 	cconf := &mapred.JobConf{InputPaths: []string{"/s/cif"}}
 	if proj != nil {
 		core.SetColumns(cconf, proj...)
 	}
 	core.SetLazy(cconf, *lazy)
-	scan("CIF", &core.InputFormat{}, cconf)
+	if pred != nil {
+		scan.SetPredicate(cconf, pred)
+	}
+	runScan("CIF", &core.InputFormat{}, cconf, true)
 
-	fmt.Printf("scan of %d %s records, projection=%v, lazy=%v\n\n", *records, *kind, proj, *lazy)
+	fmt.Printf("scan of %d %s records, projection=%v, where=%q, lazy=%v\n\n", *records, *kind, proj, *where, *lazy)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "format\tlogical MB\tcharged MB\tseeks\tmap KB\tvalues\tmodeled scan")
+	fmt.Fprintln(tw, "format\tmatched\tlogical MB\tcharged MB\tseeks\tmap KB\tvalues\tpruned\tmodeled scan")
 	for _, r := range results {
-		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%d\t%.1f\t%d\t%.3fs\n",
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%d\t%.1f\t%d\t%d\t%.3fs\n",
 			r.name,
+			r.matched,
 			float64(r.st.IO.LogicalBytes)/(1<<20),
 			float64(r.st.IO.TotalChargedBytes())/(1<<20),
 			r.st.IO.Seeks,
 			float64(r.st.CPU.MapBytes)/(1<<10),
 			r.st.CPU.ValuesMaterialized,
+			r.st.RecordsPruned,
 			model.ScanSeconds(r.st))
 	}
 	tw.Flush()

@@ -32,6 +32,7 @@ import (
 	"colmr/internal/core"
 	"colmr/internal/hdfs"
 	"colmr/internal/mapred"
+	"colmr/internal/scan"
 	"colmr/internal/serde"
 	"colmr/internal/sim"
 	"colmr/internal/workload"
@@ -184,6 +185,43 @@ func SetColumns(conf *JobConf, columns ...string) { core.SetColumns(conf, column
 // SetLazy selects lazy record construction for a CIF job.
 func SetLazy(conf *JobConf, lazy bool) { core.SetLazy(conf, lazy) }
 
+// Selection pushdown — the scan subsystem (internal/scan). A Predicate
+// travels into CIF alongside the projection: zone-map statistics prune
+// whole record groups without touching their bytes, filter columns decide
+// the remaining records, and projected columns materialize only for
+// matches.
+// Predicate is a pushdown filter over records. The zone-map statistics
+// backing group pruning (min/max/null-count/distinct/key-universe per
+// record group) are internal to the column files; see
+// internal/colfile.StatsSource.
+type Predicate = scan.Predicate
+
+// SetPredicate pushes a selection predicate into CIF for a job — the
+// selection analogue of SetColumns.
+func SetPredicate(conf *JobConf, p Predicate) { scan.SetPredicate(conf, p) }
+
+// ParsePredicate reads a predicate from the scan expression language,
+// e.g. `prefix(url, "http://www.ibm.com") && fetchTime > 1293840000000`.
+func ParsePredicate(expr string) (Predicate, error) { return scan.Parse(expr) }
+
+// Predicate builders. Comparison literals may be any Go integer or float
+// type, string, bool, or []byte; numeric literals compare across the
+// column's native width.
+func Eq(col string, lit any) Predicate         { return scan.Eq(col, lit) }
+func Ne(col string, lit any) Predicate         { return scan.Ne(col, lit) }
+func Lt(col string, lit any) Predicate         { return scan.Lt(col, lit) }
+func Le(col string, lit any) Predicate         { return scan.Le(col, lit) }
+func Gt(col string, lit any) Predicate         { return scan.Gt(col, lit) }
+func Ge(col string, lit any) Predicate         { return scan.Ge(col, lit) }
+func Between(col string, lo, hi any) Predicate { return scan.Between(col, lo, hi) }
+func HasPrefix(col, prefix string) Predicate   { return scan.HasPrefix(col, prefix) }
+func KeyExists(col, key string) Predicate      { return scan.KeyExists(col, key) }
+func IsNull(col string) Predicate              { return scan.IsNull(col) }
+func NotNull(col string) Predicate             { return scan.NotNull(col) }
+func And(kids ...Predicate) Predicate          { return scan.And(kids...) }
+func Or(kids ...Predicate) Predicate           { return scan.Or(kids...) }
+func Not(p Predicate) Predicate                { return scan.Not(p) }
+
 // ReadDatasetSchema returns a CIF dataset's schema.
 func ReadDatasetSchema(fs *FileSystem, dataset string) (*Schema, error) {
 	return core.ReadSchema(fs, dataset)
@@ -232,6 +270,9 @@ type (
 	Table2Result     = bench.Table2Result
 	Figure10Result   = bench.Figure10Result
 	Figure11Result   = bench.Figure11Result
+	// SelectivityResult is the pushdown-vs-scan-then-filter sweep (beyond
+	// the paper; see internal/bench/selectivity.go).
+	SelectivityResult = bench.SelectivityResult
 )
 
 // DefaultExperimentConfig returns the standard experiment configuration;
@@ -251,6 +292,10 @@ func RunFigure9(cfg ExperimentConfig) (*Figure9Result, error)       { return ben
 func RunTable2(cfg ExperimentConfig) (*Table2Result, error)         { return bench.Table2(cfg) }
 func RunFigure10(cfg ExperimentConfig) (*Figure10Result, error)     { return bench.Figure10(cfg) }
 func RunFigure11(cfg ExperimentConfig) (*Figure11Result, error)     { return bench.Figure11(cfg) }
+
+// RunSelectivity sweeps predicate selectivity 0.01%-100% and compares
+// pushdown against scan-then-filter across the four column layouts.
+func RunSelectivity(cfg ExperimentConfig) (*SelectivityResult, error) { return bench.Selectivity(cfg) }
 
 // Ablation results for the design choices and for the paper's deferred
 // future work (re-replication after failures, split-granularity

@@ -1,0 +1,3 @@
+module colmr
+
+go 1.22

@@ -3,6 +3,7 @@ package bench
 import "testing"
 
 func TestAblationSkipLevels(t *testing.T) {
+	skipIfShort(t)
 	res, err := AblationSkipLevels(testCfg(0.2))
 	if err != nil {
 		t.Fatal(err)
@@ -33,6 +34,7 @@ func TestAblationSkipLevels(t *testing.T) {
 }
 
 func TestAblationParallelism(t *testing.T) {
+	skipIfShort(t)
 	res, err := AblationParallelism(testCfg(1))
 	if err != nil {
 		t.Fatal(err)
@@ -61,6 +63,7 @@ func TestAblationParallelism(t *testing.T) {
 }
 
 func TestAblationBlockSize(t *testing.T) {
+	skipIfShort(t)
 	res, err := AblationBlockSize(testCfg(0.3))
 	if err != nil {
 		t.Fatal(err)
@@ -85,6 +88,7 @@ func TestAblationBlockSize(t *testing.T) {
 }
 
 func TestAblationRecovery(t *testing.T) {
+	skipIfShort(t)
 	res, err := AblationRecovery(testCfg(0.3))
 	if err != nil {
 		t.Fatal(err)

@@ -14,7 +14,18 @@ func testCfg(scale float64) Config {
 	return Config{Scale: scale, Seed: 2011}
 }
 
+// skipIfShort keeps the tier-1 loop fast: every experiment regenerates a
+// dataset and runs real scans (the package takes ~35s in full), so the
+// shape tests only run in full (non -short) mode.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment regeneration skipped in -short mode")
+	}
+}
+
 func TestFigure7Shape(t *testing.T) {
+	skipIfShort(t)
 	res, err := Figure7(testCfg(0.1))
 	if err != nil {
 		t.Fatal(err)
@@ -63,6 +74,7 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
+	skipIfShort(t)
 	res, err := Table1(testCfg(0.25))
 	if err != nil {
 		t.Fatal(err)
@@ -126,6 +138,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestColocationShape(t *testing.T) {
+	skipIfShort(t)
 	res, err := Colocation(testCfg(0.25))
 	if err != nil {
 		t.Fatal(err)
@@ -143,6 +156,7 @@ func TestColocationShape(t *testing.T) {
 }
 
 func TestFigure8Shape(t *testing.T) {
+	skipIfShort(t)
 	res, err := Figure8(testCfg(0.25))
 	if err != nil {
 		t.Fatal(err)
@@ -174,6 +188,7 @@ func TestFigure8Shape(t *testing.T) {
 }
 
 func TestFigure9Shape(t *testing.T) {
+	skipIfShort(t)
 	res, err := Figure9(testCfg(0.1))
 	if err != nil {
 		t.Fatal(err)
@@ -200,6 +215,7 @@ func TestFigure9Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
+	skipIfShort(t)
 	res, err := Table2(testCfg(0.1))
 	if err != nil {
 		t.Fatal(err)
@@ -221,6 +237,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestFigure10Shape(t *testing.T) {
+	skipIfShort(t)
 	res, err := Figure10(testCfg(0.15))
 	if err != nil {
 		t.Fatal(err)
@@ -244,6 +261,7 @@ func TestFigure10Shape(t *testing.T) {
 }
 
 func TestFigure11Shape(t *testing.T) {
+	skipIfShort(t)
 	res, err := Figure11(testCfg(0.25))
 	if err != nil {
 		t.Fatal(err)

@@ -91,6 +91,11 @@ type Options struct {
 	Codec string
 	// BlockBytes is the Block layout's target uncompressed block size.
 	BlockBytes int
+	// StatsEvery is the record-group granularity of the zone-map stats
+	// section for Plain, SkipList, and DCSL layouts (Block layouts always
+	// cut one group per compressed frame). 0 selects DefaultStatsEvery;
+	// negative disables the stats section.
+	StatsEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +107,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Codec == "" {
 		o.Codec = "none"
+	}
+	if o.StatsEvery == 0 {
+		o.StatsEvery = DefaultStatsEvery
 	}
 	return o
 }
@@ -123,8 +131,8 @@ func (o Options) validate() error {
 
 const (
 	headerMagic = "CF01"
-	footerMagic = "CFE1"
-	footerSize  = 8 + 4 // u64 record count + magic
+	footerMagic = "CFE2"
+	footerSize  = 8 + 4 + 4 // u64 record count + u32 stats size + magic
 )
 
 // header is the on-disk file header.
@@ -187,8 +195,11 @@ func parseHeader(s *stream) (header, error) {
 	return h, nil
 }
 
-func appendFooter(dst []byte, count int64) []byte {
+// appendFooter writes the fixed footer: record count, the byte length of
+// the zone-map stats section that precedes it, and the magic.
+func appendFooter(dst []byte, count int64, statsLen int) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(count))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(statsLen))
 	return append(dst, footerMagic...)
 }
 
@@ -198,12 +209,13 @@ type unchargedReaderAt interface {
 	UnchargedReadAt(p []byte, off int64) (int, error)
 }
 
-// readFooter reads the record count from the file tail without charging the
-// accounting sink (footers are metadata, like the split's schema file).
-func readFooter(r ReaderAtSize) (int64, error) {
+// readFooter reads the record count and stats-section length from the file
+// tail without charging the accounting sink (footers are metadata, like the
+// split's schema file).
+func readFooter(r ReaderAtSize) (count, statsLen int64, err error) {
 	size := r.Size()
 	if size < footerSize {
-		return 0, fmt.Errorf("colfile: file too small for footer (%d bytes)", size)
+		return 0, 0, fmt.Errorf("colfile: file too small for footer (%d bytes)", size)
 	}
 	var buf [footerSize]byte
 	readAt := r.ReadAt
@@ -211,12 +223,17 @@ func readFooter(r ReaderAtSize) (int64, error) {
 		readAt = u.UnchargedReadAt
 	}
 	if _, err := readAt(buf[:], size-footerSize); err != nil && err != io.EOF {
-		return 0, fmt.Errorf("colfile: reading footer: %w", err)
+		return 0, 0, fmt.Errorf("colfile: reading footer: %w", err)
 	}
-	if string(buf[8:]) != footerMagic {
-		return 0, fmt.Errorf("colfile: bad footer magic %q", buf[8:])
+	if string(buf[12:]) != footerMagic {
+		return 0, 0, fmt.Errorf("colfile: bad footer magic %q", buf[12:])
 	}
-	return int64(binary.LittleEndian.Uint64(buf[:8])), nil
+	count = int64(binary.LittleEndian.Uint64(buf[:8]))
+	statsLen = int64(binary.LittleEndian.Uint32(buf[8:12]))
+	if statsLen > size-footerSize {
+		return 0, 0, fmt.Errorf("colfile: stats section length %d exceeds file", statsLen)
+	}
+	return count, statsLen, nil
 }
 
 // ReaderAtSize is the read-side abstraction: positional reads plus a known

@@ -28,26 +28,29 @@ func NewReader(r ReaderAtSize, schema *serde.Schema, stats *sim.CPUStats) (Reade
 
 // NewReaderOpts is NewReader with explicit options.
 func NewReaderOpts(r ReaderAtSize, schema *serde.Schema, opts ReaderOptions, stats *sim.CPUStats) (Reader, error) {
-	total, err := readFooter(r)
+	total, statsLen, err := readFooter(r)
 	if err != nil {
 		return nil, err
 	}
 	s := newStream(r, opts.Chunk)
-	s.dataEnd = r.Size() - footerSize
+	s.dataEnd = r.Size() - footerSize - statsLen
 	s.onRefill = opts.OnRefill
+	// Zone maps load lazily on the first GroupStats call, so a reader that
+	// never prunes never touches the section.
+	zm := &statsLoader{src: r, schema: schema, off: s.dataEnd, size: statsLen}
 	h, err := parseHeader(s)
 	if err != nil {
 		return nil, err
 	}
 	switch h.layout {
 	case Plain:
-		return &plainReader{s: s, schema: schema, stats: stats, total: total}, nil
+		return &plainReader{statsLoader: zm, s: s, schema: schema, stats: stats, total: total}, nil
 	case Block:
 		codec, err := compress.ByName(h.codec)
 		if err != nil {
 			return nil, err
 		}
-		return &blockReader{s: s, schema: schema, stats: stats, codec: codec, total: total}, nil
+		return &blockReader{statsLoader: zm, s: s, schema: schema, stats: stats, codec: codec, total: total}, nil
 	case SkipList, DCSL:
 		if len(h.levels) == 0 {
 			return nil, fmt.Errorf("colfile: %s file with no levels", h.layout)
@@ -56,12 +59,13 @@ func NewReaderOpts(r ReaderAtSize, schema *serde.Schema, opts ReaderOptions, sta
 			return nil, fmt.Errorf("colfile: DCSL file for non-map schema %s", schema.Kind)
 		}
 		return &slReader{
-			s:      s,
-			schema: schema,
-			stats:  stats,
-			levels: h.levels,
-			dcsl:   h.layout == DCSL,
-			total:  total,
+			statsLoader: zm,
+			s:           s,
+			schema:      schema,
+			stats:       stats,
+			levels:      h.levels,
+			dcsl:        h.layout == DCSL,
+			total:       total,
 		}, nil
 	}
 	return nil, fmt.Errorf("colfile: unknown layout %v", h.layout)
@@ -70,6 +74,7 @@ func NewReaderOpts(r ReaderAtSize, schema *serde.Schema, opts ReaderOptions, sta
 // plainReader iterates concatenated values. Skipping walks every record's
 // encoding at full decode cost — the paper's "no savings" degradation.
 type plainReader struct {
+	*statsLoader
 	s      *stream
 	schema *serde.Schema
 	stats  *sim.CPUStats
@@ -110,6 +115,7 @@ func (p *plainReader) SkipTo(target int64) error {
 // touching any record in a frame decompresses the whole frame
 // (Section 5.3, "Compressed Blocks").
 type blockReader struct {
+	*statsLoader
 	s      *stream
 	schema *serde.Schema
 	stats  *sim.CPUStats
@@ -240,6 +246,7 @@ func (b *blockReader) SkipTo(target int64) error {
 // entity — its skip group if one exists (aligned == false), or its value
 // (aligned == true, group and window dictionary consumed).
 type slReader struct {
+	*statsLoader
 	s      *stream
 	schema *serde.Schema
 	stats  *sim.CPUStats

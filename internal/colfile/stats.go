@@ -1,0 +1,451 @@
+package colfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"colmr/internal/scan"
+	"colmr/internal/serde"
+)
+
+// Zone-map statistics (the scan subsystem's storage side). Every column
+// file carries a stats section between its data region and its footer: one
+// scan.ColStats per record group, where a group is a skip-list window
+// (SkipList/DCSL), one compressed frame (Block), or a fixed record granule
+// (Plain). Readers expose the section through StatsSource, letting a
+// predicate prove a group irrelevant without decompressing or
+// deserializing any of it — the PowerDrill/Parquet-style chunk-skipping
+// the paper's CIF format predates.
+
+// DefaultStatsEvery is the default record-group granularity of the stats
+// section for Plain and SkipList/DCSL layouts. It matches the paper's
+// middle skip level so that a pruned group is jumpable with one level-100
+// pointer. Block layouts always cut one group per compressed frame.
+const DefaultStatsEvery = 100
+
+// statsMaxDistinct caps per-group distinct tracking; beyond the cap the
+// count becomes a lower bound (DistinctCapped).
+const statsMaxDistinct = 64
+
+// statsMaxKeys caps the per-group map-key universe; beyond the cap the key
+// list becomes a subset (KeysCapped) and can no longer disprove
+// key-existence.
+const statsMaxKeys = 64
+
+// statsEntry locates one group's statistics in the record space.
+type statsEntry struct {
+	start int64 // first record of the group; Rows gives the extent
+	st    scan.ColStats
+}
+
+// StatsSource is implemented by column readers whose file carries a
+// zone-map stats section.
+type StatsSource interface {
+	// GroupStats returns the statistics of the record group containing rec
+	// and the index one past the group's last record. It returns (nil, 0)
+	// when no statistics cover rec.
+	GroupStats(rec int64) (*scan.ColStats, int64)
+}
+
+// minMaxKind reports whether values of this schema kind carry min/max
+// bounds in the stats section.
+func minMaxKind(k serde.Kind) bool {
+	switch k {
+	case serde.KindBool, serde.KindInt, serde.KindLong, serde.KindTime,
+		serde.KindDouble, serde.KindString, serde.KindBytes:
+		return true
+	}
+	return false
+}
+
+// statsCollector accumulates per-group statistics on the write path.
+// observe sees every appended value; cut closes the current group. The
+// collector prices nothing: zone maps are derived from values the writer
+// already encoded, and their bytes are charged as ordinary written output.
+type statsCollector struct {
+	schema *serde.Schema
+	every  int // cut cadence in records; 0 = external cuts only (Block)
+
+	entries  []statsEntry
+	curStart int64
+	cur      scan.ColStats
+	distinct map[any]struct{}
+	keys     map[string]struct{}
+
+	minMax bool
+	mapCol bool
+}
+
+// newStatsCollector builds a collector cutting groups every `every`
+// records (0 = external cuts only). A negative cadence disables statistics
+// entirely: the nil collector accepts observe/cut and yields no section.
+func newStatsCollector(schema *serde.Schema, every int) *statsCollector {
+	if every < 0 {
+		return nil
+	}
+	return &statsCollector{
+		schema: schema,
+		every:  every,
+		minMax: minMaxKind(schema.Kind),
+		mapCol: schema.Kind == serde.KindMap,
+	}
+}
+
+// distinctKey maps a value to a comparable key for distinct counting, or
+// ok=false for kinds whose distinct count is not tracked.
+func distinctKey(v any) (any, bool) {
+	switch x := v.(type) {
+	case bool, int32, int64, float64, string:
+		return x, true
+	case []byte:
+		return string(x), true
+	}
+	return nil, false
+}
+
+func (c *statsCollector) observe(v any) {
+	if c == nil {
+		return
+	}
+	c.cur.Rows++
+	if v == nil {
+		c.cur.Nulls++
+	} else {
+		if c.minMax {
+			if !c.cur.HasMinMax {
+				c.cur.HasMinMax = true
+				c.cur.Min, c.cur.Max = copyBound(v), copyBound(v)
+			} else {
+				if cmp, ok := scan.CompareValues(v, c.cur.Min); ok && cmp < 0 {
+					c.cur.Min = copyBound(v)
+				}
+				if cmp, ok := scan.CompareValues(v, c.cur.Max); ok && cmp > 0 {
+					c.cur.Max = copyBound(v)
+				}
+			}
+		}
+		if key, ok := distinctKey(v); ok {
+			if !c.cur.DistinctCapped {
+				if c.distinct == nil {
+					c.distinct = make(map[any]struct{}, statsMaxDistinct)
+				}
+				if _, seen := c.distinct[key]; !seen {
+					if len(c.distinct) >= statsMaxDistinct {
+						c.cur.DistinctCapped = true
+					} else {
+						c.distinct[key] = struct{}{}
+					}
+				}
+			}
+		} else {
+			// Distinct is untracked for complex kinds: leave the count a
+			// capped lower bound so consumers never treat it as exact.
+			c.cur.DistinctCapped = true
+		}
+		if c.mapCol {
+			if m, ok := v.(map[string]any); ok {
+				c.cur.HasKeys = true
+				if c.keys == nil {
+					c.keys = make(map[string]struct{}, statsMaxKeys)
+				}
+				// Sorted iteration keeps the retained subset under the
+				// cap deterministic: identical data must produce
+				// identical file bytes (the simulation replays by seed).
+				for _, k := range mapKeysSorted(m) {
+					if _, seen := c.keys[k]; seen {
+						continue
+					}
+					if len(c.keys) >= statsMaxKeys {
+						c.cur.KeysCapped = true
+						break
+					}
+					c.keys[k] = struct{}{}
+				}
+			}
+		}
+	}
+	if c.every > 0 && c.cur.Rows >= int64(c.every) {
+		c.cut()
+	}
+}
+
+// copyBound deep-copies mutable bound values so later caller mutations
+// cannot corrupt recorded statistics.
+func copyBound(v any) any {
+	if b, ok := v.([]byte); ok {
+		return append([]byte(nil), b...)
+	}
+	return v
+}
+
+// cut closes the current group, if it has any rows.
+func (c *statsCollector) cut() {
+	if c == nil || c.cur.Rows == 0 {
+		return
+	}
+	c.cur.Distinct = int64(len(c.distinct))
+	if c.cur.HasKeys {
+		keys := make([]string, 0, len(c.keys))
+		for k := range c.keys {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		c.cur.Keys = keys
+	}
+	c.entries = append(c.entries, statsEntry{start: c.curStart, st: c.cur})
+	c.curStart += c.cur.Rows
+	c.cur = scan.ColStats{}
+	c.distinct = nil
+	c.keys = nil
+}
+
+// finish closes the trailing group and returns the encoded stats section
+// (empty when no records were observed).
+func (c *statsCollector) finish() ([]byte, error) {
+	if c == nil {
+		return nil, nil
+	}
+	c.cut()
+	if len(c.entries) == 0 {
+		return nil, nil
+	}
+	return appendStatsSection(nil, c.schema, c.entries)
+}
+
+// Stats section encoding:
+//
+//	magic "CFST"
+//	uvarint entryCount
+//	per entry:
+//	  uvarint rows, uvarint nulls, uvarint distinct
+//	  flags byte (hasMinMax | distinctCapped<<1 | hasKeys<<2 | keysCapped<<3)
+//	  [hasMinMax]  len-prefixed serde(min), len-prefixed serde(max)
+//	  [hasKeys]    uvarint keyCount, len-prefixed keys
+//
+// Group starts are implicit: groups tile the record space in order.
+const statsMagic = "CFST"
+
+const (
+	statsFlagMinMax byte = 1 << iota
+	statsFlagDistinctCapped
+	statsFlagHasKeys
+	statsFlagKeysCapped
+)
+
+func appendStatsSection(dst []byte, schema *serde.Schema, entries []statsEntry) ([]byte, error) {
+	dst = append(dst, statsMagic...)
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		st := &e.st
+		dst = binary.AppendUvarint(dst, uint64(st.Rows))
+		dst = binary.AppendUvarint(dst, uint64(st.Nulls))
+		dst = binary.AppendUvarint(dst, uint64(st.Distinct))
+		var flags byte
+		if st.HasMinMax {
+			flags |= statsFlagMinMax
+		}
+		if st.DistinctCapped {
+			flags |= statsFlagDistinctCapped
+		}
+		if st.HasKeys {
+			flags |= statsFlagHasKeys
+		}
+		if st.KeysCapped {
+			flags |= statsFlagKeysCapped
+		}
+		dst = append(dst, flags)
+		if st.HasMinMax {
+			for _, bound := range []any{st.Min, st.Max} {
+				enc, err := serde.AppendValue(nil, schema, bound)
+				if err != nil {
+					return nil, fmt.Errorf("colfile: encoding stats bound: %w", err)
+				}
+				dst = binary.AppendUvarint(dst, uint64(len(enc)))
+				dst = append(dst, enc...)
+			}
+		}
+		if st.HasKeys {
+			dst = binary.AppendUvarint(dst, uint64(len(st.Keys)))
+			for _, k := range st.Keys {
+				dst = binary.AppendUvarint(dst, uint64(len(k)))
+				dst = append(dst, k...)
+			}
+		}
+	}
+	return dst, nil
+}
+
+// statsCursor is a bounds-checked forward cursor over the stats blob.
+type statsCursor struct {
+	buf []byte
+	pos int
+}
+
+func (c *statsCursor) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(c.buf[c.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("colfile: stats %s: truncated uvarint", what)
+	}
+	c.pos += n
+	return v, nil
+}
+
+func (c *statsCursor) bytes(n int, what string) ([]byte, error) {
+	if n < 0 || c.pos+n > len(c.buf) {
+		return nil, fmt.Errorf("colfile: stats %s overruns section", what)
+	}
+	b := c.buf[c.pos : c.pos+n]
+	c.pos += n
+	return b, nil
+}
+
+// parseStatsSection decodes a stats section. Decoding charges nothing:
+// like the footer and the split's schema file, zone maps are metadata.
+func parseStatsSection(blob []byte, schema *serde.Schema) ([]statsEntry, error) {
+	if len(blob) < len(statsMagic) || string(blob[:len(statsMagic)]) != statsMagic {
+		return nil, fmt.Errorf("colfile: bad stats magic")
+	}
+	c := &statsCursor{buf: blob, pos: len(statsMagic)}
+	n, err := c.uvarint("entry count")
+	if err != nil {
+		return nil, err
+	}
+	// Every entry occupies at least 4 bytes (three uvarints + flags), so a
+	// count beyond that bound is corruption, not a huge file — fail before
+	// make() can panic on an absurd capacity.
+	if n > uint64(len(blob))/4 {
+		return nil, fmt.Errorf("colfile: absurd stats entry count %d for %d-byte section", n, len(blob))
+	}
+	entries := make([]statsEntry, 0, n)
+	var start int64
+	for i := uint64(0); i < n; i++ {
+		var e statsEntry
+		e.start = start
+		rows, err := c.uvarint("rows")
+		if err != nil {
+			return nil, err
+		}
+		nulls, err := c.uvarint("nulls")
+		if err != nil {
+			return nil, err
+		}
+		distinct, err := c.uvarint("distinct")
+		if err != nil {
+			return nil, err
+		}
+		if rows > 1<<40 || nulls > rows || distinct > rows {
+			return nil, fmt.Errorf("colfile: implausible stats entry (rows=%d nulls=%d distinct=%d)", rows, nulls, distinct)
+		}
+		e.st.Rows, e.st.Nulls, e.st.Distinct = int64(rows), int64(nulls), int64(distinct)
+		fb, err := c.bytes(1, "flags")
+		if err != nil {
+			return nil, err
+		}
+		flags := fb[0]
+		e.st.DistinctCapped = flags&statsFlagDistinctCapped != 0
+		e.st.KeysCapped = flags&statsFlagKeysCapped != 0
+		if flags&statsFlagMinMax != 0 {
+			e.st.HasMinMax = true
+			for _, bound := range []*any{&e.st.Min, &e.st.Max} {
+				blen, err := c.uvarint("bound length")
+				if err != nil {
+					return nil, err
+				}
+				enc, err := c.bytes(int(blen), "bound")
+				if err != nil {
+					return nil, err
+				}
+				v, err := serde.NewDecoder(enc, nil).Value(schema)
+				if err != nil {
+					return nil, fmt.Errorf("colfile: decoding stats bound: %w", err)
+				}
+				*bound = v
+			}
+		}
+		if flags&statsFlagHasKeys != 0 {
+			e.st.HasKeys = true
+			kn, err := c.uvarint("key count")
+			if err != nil {
+				return nil, err
+			}
+			if kn > statsMaxKeys {
+				return nil, fmt.Errorf("colfile: absurd stats key count %d", kn)
+			}
+			keys := make([]string, 0, kn)
+			for j := uint64(0); j < kn; j++ {
+				klen, err := c.uvarint("key length")
+				if err != nil {
+					return nil, err
+				}
+				kb, err := c.bytes(int(klen), "key")
+				if err != nil {
+					return nil, err
+				}
+				keys = append(keys, string(kb))
+			}
+			e.st.Keys = keys
+		}
+		entries = append(entries, e)
+		start += e.st.Rows
+	}
+	return entries, nil
+}
+
+// statsLoader lazily reads and indexes a file's stats section, serving
+// GroupStats to all reader layouts. The section read is uncharged
+// metadata, like the footer.
+type statsLoader struct {
+	src    ReaderAtSize
+	schema *serde.Schema
+	off    int64
+	size   int64
+
+	entries []statsEntry
+	loaded  bool
+	failed  bool
+}
+
+// GroupStats implements StatsSource.
+func (l *statsLoader) GroupStats(rec int64) (*scan.ColStats, int64) {
+	if l == nil || l.size == 0 || l.failed {
+		return nil, 0
+	}
+	if !l.loaded {
+		l.load()
+		if l.failed {
+			return nil, 0
+		}
+	}
+	// Find the last entry with start <= rec.
+	i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].start > rec }) - 1
+	if i < 0 {
+		return nil, 0
+	}
+	e := &l.entries[i]
+	end := e.start + e.st.Rows
+	if rec >= end {
+		return nil, 0
+	}
+	return &e.st, end
+}
+
+func (l *statsLoader) load() {
+	l.loaded = true
+	blob := make([]byte, l.size)
+	readAt := l.src.ReadAt
+	if u, ok := l.src.(unchargedReaderAt); ok {
+		readAt = u.UnchargedReadAt
+	}
+	if _, err := readAt(blob, l.off); err != nil && err != io.EOF {
+		l.failed = true
+		return
+	}
+	entries, err := parseStatsSection(blob, l.schema)
+	if err != nil {
+		l.failed = true
+		return
+	}
+	l.entries = entries
+}

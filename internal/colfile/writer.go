@@ -36,13 +36,21 @@ func NewWriter(w io.Writer, schema *serde.Schema, opts Options, stats *sim.CPUSt
 	}
 	switch opts.Layout {
 	case Plain:
-		return &plainWriter{w: w, schema: schema, stats: stats}, nil
+		return &plainWriter{w: w, schema: schema, stats: stats,
+			zm: newStatsCollector(schema, opts.StatsEvery)}, nil
 	case Block:
 		codec, err := compress.ByName(opts.Codec)
 		if err != nil {
 			return nil, err
 		}
-		return &blockWriter{w: w, schema: schema, stats: stats, codec: codec, blockBytes: opts.BlockBytes}, nil
+		// Block groups follow frame boundaries, so the collector is cut
+		// externally on flush rather than on a record cadence.
+		every := 0
+		if opts.StatsEvery < 0 {
+			every = -1
+		}
+		return &blockWriter{w: w, schema: schema, stats: stats, codec: codec, blockBytes: opts.BlockBytes,
+			zm: newStatsCollector(schema, every)}, nil
 	case SkipList, DCSL:
 		return &slWriter{
 			w:      w,
@@ -50,9 +58,26 @@ func NewWriter(w io.Writer, schema *serde.Schema, opts Options, stats *sim.CPUSt
 			stats:  stats,
 			levels: opts.Levels,
 			dcsl:   opts.Layout == DCSL,
+			zm:     newStatsCollector(schema, opts.StatsEvery),
 		}, nil
 	}
 	return nil, fmt.Errorf("colfile: unsupported layout %v", opts.Layout)
+}
+
+// closeWith finalizes a writer: it emits the zone-map stats section
+// followed by the footer recording the record count and stats length.
+func closeWith(w io.Writer, zm *statsCollector, count int64) error {
+	blob, err := zm.finish()
+	if err != nil {
+		return err
+	}
+	if len(blob) > 0 {
+		if _, err := w.Write(blob); err != nil {
+			return err
+		}
+	}
+	_, err = w.Write(appendFooter(nil, count, len(blob)))
+	return err
 }
 
 // chargeEncode prices serialization on the load path as raw byte movement.
@@ -67,6 +92,7 @@ type plainWriter struct {
 	w       io.Writer
 	schema  *serde.Schema
 	stats   *sim.CPUStats
+	zm      *statsCollector
 	count   int64
 	scratch []byte
 }
@@ -81,6 +107,7 @@ func (p *plainWriter) Append(v any) error {
 	if _, err := p.w.Write(buf); err != nil {
 		return err
 	}
+	p.zm.observe(v)
 	p.count++
 	return nil
 }
@@ -88,8 +115,7 @@ func (p *plainWriter) Append(v any) error {
 func (p *plainWriter) Count() int64 { return p.count }
 
 func (p *plainWriter) Close() error {
-	_, err := p.w.Write(appendFooter(nil, p.count))
-	return err
+	return closeWith(p.w, p.zm, p.count)
 }
 
 // blockWriter accumulates encoded values and emits compressed frames.
@@ -97,6 +123,7 @@ type blockWriter struct {
 	w          io.Writer
 	schema     *serde.Schema
 	stats      *sim.CPUStats
+	zm         *statsCollector
 	codec      compress.Codec
 	blockBytes int
 
@@ -112,6 +139,7 @@ func (b *blockWriter) Append(v any) error {
 	}
 	chargeEncode(b.stats, len(buf)-len(b.raw))
 	b.raw = buf
+	b.zm.observe(v)
 	b.records++
 	b.count++
 	if len(b.raw) >= b.blockBytes {
@@ -131,6 +159,9 @@ func (b *blockWriter) flush() error {
 	if _, err := b.w.Write(frame); err != nil {
 		return err
 	}
+	// One stats group per frame: pruning a group skips exactly one
+	// decompression.
+	b.zm.cut()
 	b.raw = b.raw[:0]
 	b.records = 0
 	return nil
@@ -142,8 +173,7 @@ func (b *blockWriter) Close() error {
 	if err := b.flush(); err != nil {
 		return err
 	}
-	_, err := b.w.Write(appendFooter(nil, b.count))
-	return err
+	return closeWith(b.w, b.zm, b.count)
 }
 
 // slWriter builds skip-list (and dictionary compressed skip-list) files.
@@ -156,6 +186,7 @@ type slWriter struct {
 	w      io.Writer
 	schema *serde.Schema
 	stats  *sim.CPUStats
+	zm     *statsCollector
 	levels []int
 	dcsl   bool
 
@@ -183,6 +214,7 @@ func (s *slWriter) Append(v any) error {
 		chargeEncode(s.stats, len(buf))
 		s.encoded = append(s.encoded, prefixed(buf))
 	}
+	s.zm.observe(v)
 	s.count++
 	if s.windowLen() == s.maxLevel() {
 		return s.flush()
@@ -212,8 +244,7 @@ func (s *slWriter) Close() error {
 	if err := s.flush(); err != nil {
 		return err
 	}
-	_, err := s.w.Write(appendFooter(nil, s.count))
-	return err
+	return closeWith(s.w, s.zm, s.count)
 }
 
 // flush emits the buffered window: skip groups, the window dictionary

@@ -8,6 +8,7 @@ import (
 	"colmr/internal/colfile"
 	"colmr/internal/hdfs"
 	"colmr/internal/mapred"
+	"colmr/internal/scan"
 	"colmr/internal/serde"
 	"colmr/internal/sim"
 )
@@ -116,6 +117,12 @@ func (f *InputFormat) Splits(fs *hdfs.FileSystem, conf *mapred.JobConf) ([]mapre
 		per = 1
 	}
 	columns := projection(conf)
+	// Locality ranks by the files a map task will actually open: the
+	// projection plus any filter-only predicate columns (Columns dedups
+	// against the slice it extends).
+	if pred, err := scan.FromConf(conf); err == nil && pred != nil && len(columns) > 0 {
+		columns = pred.Columns(columns)
+	}
 	var out []mapred.Split
 	for _, dataset := range conf.InputPaths {
 		dirs, err := listSplitDirs(fs, dataset)
@@ -162,27 +169,41 @@ func (f *InputFormat) Open(fs *hdfs.FileSystem, conf *mapred.JobConf, split mapr
 		columns = csplit.Columns
 	}
 	lazy := conf.Get(LazyProp) == "true"
-	return newReader(fs, csplit.Dirs, columns, lazy, node, stats)
+	pred, err := scan.FromConf(conf)
+	if err != nil {
+		return nil, err
+	}
+	return newReader(fs, csplit.Dirs, columns, lazy, pred, node, stats)
 }
 
 // Reader iterates the records of a CIF split. It is also usable directly
-// (outside MapReduce) for scans.
+// (outside MapReduce) for scans. With a predicate set it returns only
+// qualifying records (see scanexec.go).
 type Reader struct {
 	fs    *hdfs.FileSystem
 	node  hdfs.NodeID
 	stats *sim.TaskStats
 	lazy  bool
+	pred  scan.Predicate
 
 	schema  *serde.Schema // full dataset schema
 	proj    *serde.Schema // projected record schema
-	columns []string
+	columns []string      // projected columns (cursor prefix)
+	allCols []string      // projected plus filter-only predicate columns
 
 	dirs    []string
 	dirIdx  int
 	cursors []*cursor
+	byName  map[string]*cursor
 	total   int64 // records in the open split-directory
 	curPos  int64 // index of the record most recently returned by Next
 	done    bool
+	// evalGet is the column accessor predicate evaluation uses, built
+	// once per reader (Eval runs per record; the scan loop is hot).
+	evalGet scan.Getter
+	// pruneValidTo bounds the records covered by the last MayMatch
+	// zone-map verdict; pruning re-runs only once curPos crosses it.
+	pruneValidTo int64
 
 	lrec *LazyRecord
 	// lastCounted/lastCountedDir track the most recent record counted as
@@ -203,7 +224,7 @@ type cursor struct {
 	cachedPos int64
 }
 
-func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, node hdfs.NodeID, stats *sim.TaskStats) (*Reader, error) {
+func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, pred scan.Predicate, node hdfs.NodeID, stats *sim.TaskStats) (*Reader, error) {
 	schema, err := readSplitSchema(fs, dirs[0])
 	if err != nil {
 		return nil, err
@@ -216,20 +237,42 @@ func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, 
 	} else {
 		columns = schema.FieldNames()
 	}
+	// Filter columns the projection does not cover are opened as extra
+	// cursors after the projected ones; they feed predicate evaluation but
+	// never appear in the returned record. Columns dedups against the
+	// slice it extends.
+	allCols := append([]string(nil), columns...)
+	if pred != nil {
+		for _, col := range pred.Columns(nil) {
+			if schema.Field(col) == nil {
+				return nil, fmt.Errorf("core: predicate references unknown column %q", col)
+			}
+		}
+		allCols = pred.Columns(allCols)
+	}
 	r := &Reader{
 		fs:             fs,
 		node:           node,
 		stats:          stats,
 		lazy:           lazy,
+		pred:           pred,
 		schema:         schema,
 		proj:           proj,
 		columns:        columns,
+		allCols:        allCols,
 		dirs:           dirs,
 		dirIdx:         -1,
 		lastCounted:    -1,
 		lastCountedDir: -1,
 	}
 	r.lrec = &LazyRecord{reader: r}
+	r.evalGet = func(col string) (any, error) {
+		c, err := r.cursorFor(col)
+		if err != nil {
+			return nil, err
+		}
+		return r.valueAt(c)
+	}
 	if err := r.nextDir(); err != nil {
 		return nil, err
 	}
@@ -242,6 +285,7 @@ func (r *Reader) nextDir() error {
 		c.hr.Close()
 	}
 	r.cursors = nil
+	r.byName = nil
 	r.dirIdx++
 	if r.dirIdx >= len(r.dirs) {
 		r.done = true
@@ -270,7 +314,7 @@ func (r *Reader) nextDir() error {
 	// and proportionally more arm movement — the growing column-storage
 	// overhead the paper measures in Appendix B.5.
 	chunk := sim.ReadaheadBytes
-	if budget := readerMemoryBudget / len(r.columns); chunk > budget {
+	if budget := readerMemoryBudget / len(r.allCols); chunk > budget {
 		chunk = budget
 	}
 	if tu := int(r.fs.Config().TransferUnit); chunk < tu {
@@ -285,9 +329,9 @@ func (r *Reader) nextDir() error {
 	// byte — normalized to the model's readahead window so smaller
 	// buffers cost proportionally more — so it extrapolates exactly
 	// across scales.
-	collide := interleaveFactor(len(r.columns), r.fs.Config().DisksPerNode)
+	collide := interleaveFactor(len(r.allCols), r.fs.Config().DisksPerNode)
 	chargePerByte := collide * float64(sim.ReadaheadBytes) / float64(chunk)
-	for _, col := range r.columns {
+	for _, col := range r.allCols {
 		hr, err := r.fs.Open(dir+"/"+col, r.node)
 		if err != nil {
 			return fmt.Errorf("core: opening column %q: %w", col, err)
@@ -307,6 +351,10 @@ func (r *Reader) nextDir() error {
 		}
 		r.cursors = append(r.cursors, &cursor{name: col, schema: r.schema.Field(col), hr: hr, r: cr, cachedPos: -1})
 	}
+	r.byName = make(map[string]*cursor, len(r.cursors))
+	for _, c := range r.cursors {
+		r.byName[c.name] = c
+	}
 	r.total = r.cursors[0].r.Total()
 	for _, c := range r.cursors {
 		if c.r.Total() != r.total {
@@ -314,32 +362,48 @@ func (r *Reader) nextDir() error {
 		}
 	}
 	r.curPos = -1
+	r.pruneValidTo = 0
 	return nil
 }
 
 // Next implements mapred.RecordReader. In lazy mode the returned Record is
 // reused across calls (like Hadoop Writables): use it before the next call.
+// With a predicate set, non-qualifying records are crossed inside this
+// loop: whole groups by zone-map pruning, single records after evaluating
+// only the filter columns.
 func (r *Reader) Next() (any, any, bool, error) {
 	for {
 		if r.done {
 			return nil, nil, false, nil
 		}
-		if r.curPos+1 < r.total {
-			r.curPos++
+		if r.curPos+1 >= r.total {
+			if err := r.nextDir(); err != nil {
+				return nil, nil, false, err
+			}
+			continue
+		}
+		r.curPos++
+		if r.pred == nil {
 			break
 		}
-		if err := r.nextDir(); err != nil {
+		ok, err := r.qualifies()
+		if err != nil {
 			return nil, nil, false, err
+		}
+		if ok {
+			break
 		}
 	}
 	if r.lazy {
 		return nil, r.lrec, true, nil
 	}
+	// Late materialization: cursors jump straight to the qualifying
+	// record, so columns of filtered records are skipped, never decoded.
 	rec := serde.NewRecord(r.proj)
-	for i, c := range r.cursors {
-		v, err := c.r.Value()
+	for i := range r.columns {
+		v, err := r.valueAt(r.cursors[i])
 		if err != nil {
-			return nil, nil, false, fmt.Errorf("core: column %q record %d: %w", c.name, r.curPos, err)
+			return nil, nil, false, err
 		}
 		rec.SetAt(i, v)
 	}
@@ -355,6 +419,7 @@ func (r *Reader) Close() error {
 		c.hr.Close()
 	}
 	r.cursors = nil
+	r.byName = nil
 	r.done = true
 	return nil
 }
@@ -382,12 +447,11 @@ func interleaveFactor(streams, disks int) float64 {
 	return 1 - p
 }
 
-// cursorFor returns the cursor of a projected column.
+// cursorFor returns the cursor of an open column (projected or
+// filter-only).
 func (r *Reader) cursorFor(name string) (*cursor, error) {
-	for _, c := range r.cursors {
-		if c.name == name {
-			return c, nil
-		}
+	if c, ok := r.byName[name]; ok {
+		return c, nil
 	}
-	return nil, fmt.Errorf("core: column %q is not in the projection %v", name, r.columns)
+	return nil, fmt.Errorf("core: column %q is not in the projection %v", name, r.allCols)
 }

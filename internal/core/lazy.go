@@ -1,6 +1,10 @@
 package core
 
-import "colmr/internal/serde"
+import (
+	"fmt"
+
+	"colmr/internal/serde"
+)
 
 // LazyRecord implements the paper's lazy record construction (Section 5.1).
 // It satisfies the same Record interface as an eagerly materialized
@@ -21,28 +25,27 @@ type LazyRecord struct {
 func (l *LazyRecord) Schema() *serde.Schema { return l.reader.proj }
 
 // Get implements serde.Record: it materializes the named column's value
-// for the record curPos currently points at.
+// for the record curPos currently points at. The per-cursor cache is
+// shared with predicate evaluation, so a filter column a pushdown
+// predicate already read is free here.
 func (l *LazyRecord) Get(name string) (any, error) {
 	r := l.reader
+	// Filter-only predicate columns have open cursors but are not part of
+	// the record: reject them so lazy and eager records expose the same
+	// (projected) schema.
+	if r.proj.FieldIndex(name) < 0 {
+		return nil, fmt.Errorf("core: column %q is not in the projection %v", name, r.columns)
+	}
 	c, err := r.cursorFor(name)
 	if err != nil {
 		return nil, err
 	}
-	if c.cachedPos == r.curPos {
-		return c.cached, nil
-	}
-	// lastPos -> curPos: skip the records the map function never asked
-	// for, then deserialize this one.
-	if err := c.r.SkipTo(r.curPos); err != nil {
-		return nil, err
-	}
-	v, err := c.r.Value()
+	counted := c.cachedPos == r.curPos
+	v, err := r.valueAt(c)
 	if err != nil {
 		return nil, err
 	}
-	c.cached = v
-	c.cachedPos = r.curPos
-	if r.stats != nil && !l.countedCurrent() {
+	if r.stats != nil && !counted && !l.countedCurrent() {
 		r.stats.CPU.RecordsMaterialized++
 		r.lastCounted = r.curPos
 		r.lastCountedDir = r.dirIdx

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"colmr/internal/colfile"
+	"colmr/internal/scan"
+)
+
+// Selection pushdown (the scan subsystem's execution side). When a job
+// carries a predicate (scan.SetPredicate), the CIF Reader evaluates it
+// below record materialization:
+//
+//  1. Group pruning: at each new record group, the predicate is tested
+//     against the zone-map statistics of its filter columns
+//     (colfile.StatsSource). A NoMatch proof advances curPos past the
+//     whole group without touching any column file — the skipped records
+//     are later crossed by the cursors' skip-list machinery, charging
+//     skips instead of reads.
+//  2. Record filtering: for records in groups the zone maps cannot rule
+//     out, only the filter columns are materialized (through the same
+//     per-cursor cache lazy records use) and the predicate is evaluated
+//     exactly. Non-qualifying records never materialize the remaining
+//     projected columns.
+//
+// Filter columns outside the projection are opened as extra cursors; the
+// record handed to the map function still carries only the projected
+// schema.
+
+// qualifies decides whether the record at curPos passes the pushdown
+// predicate, advancing curPos past provably irrelevant groups as a side
+// effect (the caller's scan loop then re-checks bounds).
+func (r *Reader) qualifies() (bool, error) {
+	if r.curPos >= r.pruneValidTo {
+		if skipped, ok := r.pruneGroups(); ok {
+			if r.stats != nil {
+				r.stats.GroupsPruned++
+				r.stats.RecordsPruned += skipped
+			}
+			return false, nil
+		}
+	}
+	match, err := r.pred.Eval(r.evalGet)
+	if err != nil {
+		return false, err
+	}
+	if !match && r.stats != nil {
+		r.stats.RecordsFiltered++
+	}
+	return match, nil
+}
+
+// pruneGroups consults the filter columns' zone maps for the group
+// containing curPos. On a NoMatch proof it advances curPos to the last
+// record of the smallest consulted group (so the scan loop steps past it)
+// and reports how many records were skipped. Otherwise it records how far
+// the MayMatch verdict remains valid, so per-record scanning does not
+// re-consult the same group.
+func (r *Reader) pruneGroups() (skipped int64, pruned bool) {
+	// minEnd is the end of the narrowest group consulted: the range
+	// [curPos, minEnd) lies inside every consulted group, so a NoMatch
+	// verdict holds over exactly that range. Columns may use different
+	// layouts with different group geometries.
+	minEnd := r.total
+	statsFn := func(col string) *scan.ColStats {
+		c, err := r.cursorFor(col)
+		if err != nil {
+			return nil
+		}
+		src, ok := c.r.(colfile.StatsSource)
+		if !ok {
+			return nil
+		}
+		st, end := src.GroupStats(r.curPos)
+		if st == nil {
+			return nil
+		}
+		if end < minEnd {
+			minEnd = end
+		}
+		return st
+	}
+	if r.pred.Prune(statsFn) == scan.NoMatch && minEnd > r.curPos {
+		skipped = minEnd - r.curPos
+		r.curPos = minEnd - 1
+		return skipped, true
+	}
+	r.pruneValidTo = minEnd
+	return 0, false
+}
+
+// valueAt materializes cursor c's value for the record curPos points at,
+// through the per-record cache shared by lazy records, predicate
+// evaluation, and eager materialization: each column of each record is
+// deserialized at most once, however many consumers ask.
+func (r *Reader) valueAt(c *cursor) (any, error) {
+	if c.cachedPos == r.curPos {
+		return c.cached, nil
+	}
+	// lastPos -> curPos: cross the records nothing asked for. Skip-list
+	// layouts charge cheap skips; plain layouts degrade to walking.
+	if err := c.r.SkipTo(r.curPos); err != nil {
+		return nil, fmt.Errorf("core: column %q skip to %d: %w", c.name, r.curPos, err)
+	}
+	v, err := c.r.Value()
+	if err != nil {
+		return nil, fmt.Errorf("core: column %q record %d: %w", c.name, r.curPos, err)
+	}
+	c.cached = v
+	c.cachedPos = r.curPos
+	return v, nil
+}

@@ -1,0 +1,44 @@
+package scan
+
+import (
+	"fmt"
+
+	"colmr/internal/mapred"
+)
+
+// PredicateProp is the job property carrying the serialized predicate,
+// interpreted by CIF (internal/core) the way ColumnsProp carries the
+// projection.
+const PredicateProp = "scan.predicate"
+
+// SetPredicate pushes a selection predicate into CIF for a job — the
+// selection analogue of core.SetColumns:
+//
+//	scan.SetPredicate(conf, scan.And(
+//		scan.HasPrefix("url", "http://www.ibm.com"),
+//		scan.Gt("fetchTime", int64(t0)),
+//	))
+//
+// The record reader evaluates the predicate on the filter columns first,
+// skips the remaining cursors past non-qualifying records, and uses
+// zone-map statistics to jump whole record groups.
+func SetPredicate(conf *mapred.JobConf, p Predicate) {
+	if p == nil {
+		conf.Set(PredicateProp, "")
+		return
+	}
+	conf.Set(PredicateProp, p.String())
+}
+
+// FromConf reads the job's predicate, or nil when none is set.
+func FromConf(conf *mapred.JobConf) (Predicate, error) {
+	expr := conf.Get(PredicateProp)
+	if expr == "" {
+		return nil, nil
+	}
+	p, err := Parse(expr)
+	if err != nil {
+		return nil, fmt.Errorf("scan: invalid %s: %w", PredicateProp, err)
+	}
+	return p, nil
+}

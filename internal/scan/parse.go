@@ -1,0 +1,347 @@
+package scan
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a predicate from its expression-language form, the inverse of
+// Predicate.String. The grammar:
+//
+//	expr    := or
+//	or      := and ("||" and)*
+//	and     := unary ("&&" unary)*
+//	unary   := "!" unary | "(" expr ")" | call | cmp | "true" | "false"
+//	call    := "prefix" "(" ident "," string ")"
+//	         | "exists" "(" ident "," string ")"
+//	         | "between" "(" ident "," literal "," literal ")"
+//	         | "isnull" "(" ident ")"
+//	         | "notnull" "(" ident ")"
+//	cmp     := ident ("==" | "!=" | "<" | "<=" | ">" | ">=") literal
+//	literal := integer | float | string | "true" | "false"
+//	         | "inf" | "-inf" | "nan"
+//
+// Identifiers are column names ([A-Za-z_][A-Za-z0-9_]*); strings use Go
+// quoting. "true" and "false" parse to empty AND/OR, matching everything
+// and nothing respectively. The keywords (true, false, inf, nan, and the
+// call names) are reserved and cannot be used as column names.
+func Parse(src string) (Predicate, error) {
+	p := &parser{src: src}
+	pred, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("scan: trailing input at offset %d: %q", p.pos, p.src[p.pos:])
+	}
+	return pred, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(src string) Predicate {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("scan: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+// eat consumes the literal token if present.
+func (p *parser) eat(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(tok string) error {
+	if !p.eat(tok) {
+		return p.errf("expected %q", tok)
+	}
+	return nil
+}
+
+func (p *parser) parseExpr() (Predicate, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Predicate{left}
+	for p.eat("||") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	return Or(kids...), nil
+}
+
+func (p *parser) parseAnd() (Predicate, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Predicate{left}
+	for p.eat("&&") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	return And(kids...), nil
+}
+
+func (p *parser) parseUnary() (Predicate, error) {
+	if p.eat("!") {
+		kid, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(kid), nil
+	}
+	if p.eat("(") {
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	ident, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	switch ident {
+	case "true":
+		return And(), nil
+	case "false":
+		return Or(), nil
+	case "prefix", "exists", "between", "isnull", "notnull":
+		if p.peekByte() == '(' {
+			return p.parseCall(ident)
+		}
+	}
+	return p.parseCmp(ident)
+}
+
+func (p *parser) peekByte() byte {
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) parseCall(fn string) (Predicate, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	col, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	var pred Predicate
+	switch fn {
+	case "isnull":
+		pred = IsNull(col)
+	case "notnull":
+		pred = NotNull(col)
+	case "prefix", "exists":
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		s, err := p.parseString()
+		if err != nil {
+			return nil, err
+		}
+		if fn == "prefix" {
+			pred = HasPrefix(col, s)
+		} else {
+			pred = KeyExists(col, s)
+		}
+	case "between":
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		pred = Between(col, lo, hi)
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return pred, nil
+}
+
+func (p *parser) parseCmp(col string) (Predicate, error) {
+	p.skipSpace()
+	var op Op
+	switch {
+	case p.eat("=="):
+		op = OpEq
+	case p.eat("!="):
+		op = OpNe
+	case p.eat("<="):
+		op = OpLe
+	case p.eat("<"):
+		op = OpLt
+	case p.eat(">="):
+		op = OpGe
+	case p.eat(">"):
+		op = OpGt
+	default:
+		return nil, p.errf("expected comparison operator after column %q", col)
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return Cmp(col, op, lit), nil
+}
+
+func (p *parser) parseIdent() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if c == '_' || unicode.IsLetter(c) || (p.pos > start && unicode.IsDigit(c)) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseString() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '"' {
+		return "", p.errf("expected quoted string")
+	}
+	// Walk the quoted form, honoring escapes, then unquote.
+	end := p.pos + 1
+	for end < len(p.src) && p.src[end] != '"' {
+		if p.src[end] == '\\' {
+			end++
+		}
+		end++
+	}
+	if end >= len(p.src) {
+		return "", p.errf("unterminated string")
+	}
+	s, err := strconv.Unquote(p.src[p.pos : end+1])
+	if err != nil {
+		return "", p.errf("bad string literal: %v", err)
+	}
+	p.pos = end + 1
+	return s, nil
+}
+
+func (p *parser) parseLiteral() (any, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, p.errf("expected literal")
+	}
+	switch c := p.src[p.pos]; {
+	case c == '"':
+		return p.parseString()
+	case c == 't' || c == 'f' || c == 'i' || c == 'n':
+		ident, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		switch ident {
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		case "inf":
+			return math.Inf(1), nil
+		case "nan":
+			return math.NaN(), nil
+		}
+		return nil, p.errf("unexpected literal %q", ident)
+	}
+	start := p.pos
+	if p.src[p.pos] == '-' || p.src[p.pos] == '+' {
+		p.pos++
+		if strings.HasPrefix(p.src[p.pos:], "inf") {
+			p.pos += len("inf")
+			if p.src[start] == '-' {
+				return math.Inf(-1), nil
+			}
+			return math.Inf(1), nil
+		}
+	}
+	isFloat := false
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= '0' && c <= '9' {
+			p.pos++
+			continue
+		}
+		if c == '.' || c == 'e' || c == 'E' {
+			isFloat = true
+			p.pos++
+			continue
+		}
+		if (c == '-' || c == '+') && (p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return nil, p.errf("expected literal")
+	}
+	text := p.src[start:p.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, p.errf("bad float literal %q: %v", text, err)
+		}
+		return f, nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return nil, p.errf("bad integer literal %q: %v", text, err)
+	}
+	return n, nil
+}

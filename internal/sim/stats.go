@@ -149,6 +149,16 @@ type TaskStats struct {
 	OutputBytes int64
 	// OutputRecords is the number of key/value pairs emitted.
 	OutputRecords int64
+	// GroupsPruned is the number of record groups a pushdown predicate
+	// proved irrelevant from zone-map statistics alone; RecordsPruned is
+	// the records those groups held. Pruned records are charged skips,
+	// not reads: no filter-column value is deserialized for them.
+	GroupsPruned  int64
+	RecordsPruned int64
+	// RecordsFiltered is the number of records a pushdown predicate
+	// rejected after evaluating filter-column values (the zone maps could
+	// not rule their group out).
+	RecordsFiltered int64
 }
 
 // Add accumulates o into s.
@@ -158,6 +168,9 @@ func (s *TaskStats) Add(o TaskStats) {
 	s.RecordsProcessed += o.RecordsProcessed
 	s.OutputBytes += o.OutputBytes
 	s.OutputRecords += o.OutputRecords
+	s.GroupsPruned += o.GroupsPruned
+	s.RecordsPruned += o.RecordsPruned
+	s.RecordsFiltered += o.RecordsFiltered
 }
 
 // Scale multiplies every counter by k.
@@ -167,6 +180,9 @@ func (s *TaskStats) Scale(k float64) {
 	s.RecordsProcessed = scaleInt(s.RecordsProcessed, k)
 	s.OutputBytes = scaleInt(s.OutputBytes, k)
 	s.OutputRecords = scaleInt(s.OutputRecords, k)
+	s.GroupsPruned = scaleInt(s.GroupsPruned, k)
+	s.RecordsPruned = scaleInt(s.RecordsPruned, k)
+	s.RecordsFiltered = scaleInt(s.RecordsFiltered, k)
 }
 
 func scaleInt(v int64, k float64) int64 {

@@ -70,6 +70,9 @@ func TestCrawlSchemaIsFigure2(t *testing.T) {
 }
 
 func TestCrawlSelectivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates 20k multi-KB records; skipped in -short mode")
+	}
 	c := NewCrawl(CrawlOptions{Seed: 3, Selectivity: 0.06})
 	const n = 20000
 	matches := 0
