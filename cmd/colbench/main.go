@@ -45,6 +45,8 @@ var experiments = []struct {
 		func(c bench.Config) error { _, err := bench.Figure11(c); return err }},
 	{"selectivity", "selectivity sweep: predicate pushdown + zone maps vs scan-then-filter",
 		func(c bench.Config) error { _, err := bench.Selectivity(c); return err }},
+	{"elision", "split elision sweep: scheduler-tier pruning vs group-tier-only baseline",
+		func(c bench.Config) error { _, err := bench.Elision(c); return err }},
 	{"skiplevels", "ablation: skip-list level configuration",
 		func(c bench.Config) error { _, err := bench.AblationSkipLevels(c); return err }},
 	{"parallelism", "ablation: split granularity vs cluster parallelism (§4.3)",

@@ -44,6 +44,7 @@ func main() {
 		columns = flag.String("columns", "", "comma-separated projection (empty = all columns)")
 		where   = flag.String("where", "", `selection predicate, e.g. 'int0 <= 100 && prefix(str0, "ab")'`)
 		lazy    = flag.Bool("lazy", false, "use lazy record construction for CIF")
+		elide   = flag.Bool("elide", true, "let CIF drop split-directories from footer statistics before scheduling")
 		seed    = flag.Int64("seed", 2011, "generator seed")
 	)
 	flag.Parse()
@@ -120,9 +121,23 @@ func main() {
 	// pushdown formats carry the predicate inside the reader; the others
 	// scan every record and filter here, after materialization.
 	runScan := func(name string, in mapred.InputFormat, conf *mapred.JobConf, pushdown bool) {
-		splits, err := in.Splits(fs, conf)
-		check(err)
+		var splits []mapred.Split
 		var total sim.TaskStats
+		var err error
+		if pf, ok := in.(mapred.PlannedInputFormat); ok {
+			var report scan.PruneReport
+			splits, report, err = pf.PlannedSplits(fs, conf)
+			if err == nil && pred != nil {
+				fmt.Printf("%s plan: %s\n", name, report)
+			}
+			// Fold the scheduler tier into the totals, as the engine does:
+			// the pruned column then covers every tier.
+			total.SplitsPruned = int64(report.SplitsPruned)
+			total.RecordsPruned = report.RecordsPruned
+		} else {
+			splits, err = in.Splits(fs, conf)
+		}
+		check(err)
 		var matched int64
 		for _, sp := range splits {
 			var st sim.TaskStats
@@ -136,7 +151,7 @@ func main() {
 				}
 				rec, isRec := v.(serde.Record)
 				if isRec && pred != nil && !pushdown {
-					ok, err := pred.Eval(func(col string) (any, error) { return rec.Get(col) })
+					ok, err := pred.Eval(scan.Getter(func(col string) (any, error) { return rec.Get(col) }))
 					check(err)
 					if !ok {
 						st.RecordsProcessed++
@@ -182,6 +197,7 @@ func main() {
 	if pred != nil {
 		scan.SetPredicate(cconf, pred)
 	}
+	scan.SetElision(cconf, *elide)
 	runScan("CIF", &core.InputFormat{}, cconf, true)
 
 	fmt.Printf("scan of %d %s records, projection=%v, where=%q, lazy=%v\n\n", *records, *kind, proj, *where, *lazy)

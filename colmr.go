@@ -200,6 +200,17 @@ type Predicate = scan.Predicate
 // selection analogue of SetColumns.
 func SetPredicate(conf *JobConf, p Predicate) { scan.SetPredicate(conf, p) }
 
+// PruneReport summarizes the scheduler tier's split-elision decisions for
+// a job: split-directories dropped from column-file footer statistics
+// before any map task existed. JobResult.Plan carries it.
+type PruneReport = scan.PruneReport
+
+// SetElision enables or disables scheduler-tier split elision for a job
+// (default on). Elision never changes which records qualify — only how
+// many splits are scheduled; disabling it restores reader-side
+// group pruning alone, which is useful for comparisons and debugging.
+func SetElision(conf *JobConf, on bool) { scan.SetElision(conf, on) }
+
 // ParsePredicate reads a predicate from the scan expression language,
 // e.g. `prefix(url, "http://www.ibm.com") && fetchTime > 1293840000000`.
 func ParsePredicate(expr string) (Predicate, error) { return scan.Parse(expr) }
@@ -273,6 +284,9 @@ type (
 	// SelectivityResult is the pushdown-vs-scan-then-filter sweep (beyond
 	// the paper; see internal/bench/selectivity.go).
 	SelectivityResult = bench.SelectivityResult
+	// ElisionResult is the split-elision sweep: scheduler-tier pruning vs
+	// the group-tier-only baseline (internal/bench/elision.go).
+	ElisionResult = bench.ElisionResult
 )
 
 // DefaultExperimentConfig returns the standard experiment configuration;
@@ -296,6 +310,11 @@ func RunFigure11(cfg ExperimentConfig) (*Figure11Result, error)     { return ben
 // RunSelectivity sweeps predicate selectivity 0.01%-100% and compares
 // pushdown against scan-then-filter across the four column layouts.
 func RunSelectivity(cfg ExperimentConfig) (*SelectivityResult, error) { return bench.Selectivity(cfg) }
+
+// RunElision sweeps predicate selectivity over a many-split clustered
+// dataset and compares scheduler-tier split elision against the
+// group-tier-only baseline.
+func RunElision(cfg ExperimentConfig) (*ElisionResult, error) { return bench.Elision(cfg) }
 
 // Ablation results for the design choices and for the paper's deferred
 // future work (re-replication after failures, split-granularity

@@ -168,7 +168,7 @@ func Selectivity(cfg Config) (*SelectivityResult, error) {
 			core.SetColumns(fconf, "str0", "map0", "int0")
 			var filterMatches int64
 			fullSt, _, err := scanSplits(fs, &core.InputFormat{}, fconf, 0, func(rec serde.Record) error {
-				ok, err := pred.Eval(func(col string) (any, error) { return rec.Get(col) })
+				ok, err := pred.Eval(scan.Getter(func(col string) (any, error) { return rec.Get(col) }))
 				if err != nil {
 					return err
 				}

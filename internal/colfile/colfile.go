@@ -236,6 +236,16 @@ func readFooter(r ReaderAtSize) (count, statsLen int64, err error) {
 	return count, statsLen, nil
 }
 
+// RecordCount reads a column file's record count from its footer without
+// charging the accounting sink and without opening a reader. Pruning tiers
+// use it to account for records they skip when the predicate needed no
+// statistics at all (a constant-false predicate proves NoMatch without
+// consulting any column).
+func RecordCount(r ReaderAtSize) (int64, error) {
+	count, _, err := readFooter(r)
+	return count, err
+}
+
 // ReaderAtSize is the read-side abstraction: positional reads plus a known
 // size. hdfs.FileReader and bytes.Reader both satisfy it.
 type ReaderAtSize interface {
@@ -264,6 +274,18 @@ type Reader interface {
 	Record() int64
 	// Total returns the number of records in the file.
 	Total() int64
+}
+
+// KeyProber is implemented by readers (DCSL) that can decide whether the
+// record at the cursor contains a map key more cheaply than materializing
+// the value: one window-dictionary lookup refutes a whole window at a time,
+// and a per-record id walk decides the rest without building the map — the
+// paper's "extremely fast" dictionary decode applied to filtering. The
+// cursor must be positioned on the record (SkipTo) before probing; probing
+// never advances it. answered=false means the reader cannot answer cheaply
+// and the caller should materialize the value instead.
+type KeyProber interface {
+	HasKey(key string) (has, answered bool, err error)
 }
 
 // groupPtrSize is the byte width of one skip pointer.

@@ -390,7 +390,7 @@ func TestRefillHookFires(t *testing.T) {
 	f, _ := writeColumn(t, schema, Options{Layout: Plain}, 100,
 		func(i int) any { return make([]byte, 1000) })
 	refills := 0
-	r, err := NewReaderOpts(f.reader(), schema, ReaderOptions{Chunk: 4096, OnRefill: func(int) { refills++ }}, nil)
+	r, err := NewReaderOpts(f.reader(), schema, ReaderOptions{Chunk: 4096, OnRefill: func(int, int) { refills++ }}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

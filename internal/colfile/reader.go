@@ -14,10 +14,18 @@ type ReaderOptions struct {
 	// Chunk is the refill granularity in bytes (default: one 128 KB
 	// transfer unit).
 	Chunk int
+	// ChunkMin, when set below Chunk, enables adaptive readahead: the
+	// first jump observed between refills shrinks the granularity to
+	// ChunkMin, and sequential refills double it back up to Chunk.
+	// Selective CIF scans set it so skip-list jumps stop paying
+	// full-window prefetch, while a scan that never jumps streams at full
+	// granularity throughout.
+	ChunkMin int
 	// OnRefill is invoked on every physical buffer refill with the bytes
-	// fetched. CIF charges multi-stream interleave cost here when
-	// scanning several column streams concurrently.
-	OnRefill func(bytes int)
+	// fetched and the granularity in effect. CIF charges multi-stream
+	// interleave cost here when scanning several column streams
+	// concurrently, normalized per refill granularity.
+	OnRefill func(bytes, chunk int)
 }
 
 // NewReader opens a column file of the given value schema. The layout is
@@ -34,6 +42,7 @@ func NewReaderOpts(r ReaderAtSize, schema *serde.Schema, opts ReaderOptions, sta
 	}
 	s := newStream(r, opts.Chunk)
 	s.dataEnd = r.Size() - footerSize - statsLen
+	s.setShrink(opts.ChunkMin)
 	s.onRefill = opts.OnRefill
 	// Zone maps load lazily on the first GroupStats call, so a reader that
 	// never prunes never touches the section.
@@ -414,6 +423,58 @@ func (r *slReader) SkipTo(target int64) error {
 		}
 	}
 	return nil
+}
+
+// HasKey implements KeyProber for DCSL files. The window dictionary is the
+// union of every map key in the window, so a failed lookup refutes the
+// whole window with one map access; a hit walks the current record's
+// (id, value) pairs comparing ids, skipping element bytes, building no
+// objects. The walk is priced as raw byte movement.
+func (r *slReader) HasKey(key string) (bool, bool, error) {
+	if !r.dcsl || r.rec >= r.total {
+		return false, false, nil
+	}
+	if err := r.align(); err != nil {
+		return false, false, err
+	}
+	if r.dict == nil {
+		return false, false, nil
+	}
+	id, inWindow := r.dict.ID(key)
+	if !inWindow {
+		return false, true, nil
+	}
+	n, w, err := r.s.peekUvarint()
+	if err != nil {
+		return false, false, fmt.Errorf("colfile: probe length: %w", err)
+	}
+	buf, err := r.s.peekAt(w, int(n))
+	if err != nil {
+		return false, false, fmt.Errorf("colfile: probe body: %w", err)
+	}
+	d := serde.NewDecoder(buf, nil)
+	count, err := readCount(d)
+	if err != nil {
+		return false, false, err
+	}
+	has := false
+	for i := 0; i < count; i++ {
+		got, err := readCount(d)
+		if err != nil {
+			return false, false, err
+		}
+		if uint32(got) == id {
+			has = true
+			break
+		}
+		if err := d.Skip(r.schema.Elem); err != nil {
+			return false, false, err
+		}
+	}
+	if r.stats != nil {
+		r.stats.RawBytes += int64(d.Pos())
+	}
+	return has, true, nil
 }
 
 // walkOne advances past one value using its length prefix: a varint read

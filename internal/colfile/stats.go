@@ -49,6 +49,16 @@ type StatsSource interface {
 	GroupStats(rec int64) (*scan.ColStats, int64)
 }
 
+// FileStatsSource is implemented by column readers whose file carries
+// whole-file aggregate statistics (or per-group statistics they can be
+// derived from). The scan planner's file tier uses it to skip an entire
+// column file without touching its data region.
+type FileStatsSource interface {
+	// FileStats returns aggregate statistics covering every record in the
+	// file, or nil when the file carries no statistics.
+	FileStats() *scan.ColStats
+}
+
 // minMaxKind reports whether values of this schema kind carry min/max
 // bounds in the stats section.
 func minMaxKind(k serde.Kind) bool {
@@ -201,31 +211,86 @@ func (c *statsCollector) cut() {
 	c.keys = nil
 }
 
-// finish closes the trailing group and returns the encoded stats section
-// (empty when no records were observed).
-func (c *statsCollector) finish() ([]byte, error) {
-	if c == nil {
-		return nil, nil
-	}
-	c.cut()
-	if len(c.entries) == 0 {
-		return nil, nil
-	}
-	return appendStatsSection(nil, c.schema, c.entries)
+// statsWriter pairs the per-group collector with a whole-file collector.
+// The file collector cuts exactly once, at finish, so its single entry is
+// the aggregate over every record — the statistic the scheduler and file
+// pruning tiers read without touching data. Observing into two collectors
+// costs two min/max comparisons per value on the load path; like the group
+// collector, it prices nothing.
+type statsWriter struct {
+	group *statsCollector
+	file  *statsCollector
 }
 
-// Stats section encoding:
+// newStatsWriter builds the collector pair cutting groups every `every`
+// records (0 = external cuts only). A negative cadence disables statistics
+// entirely: the nil writer accepts observe/cut and yields no section.
+func newStatsWriter(schema *serde.Schema, every int) *statsWriter {
+	if every < 0 {
+		return nil
+	}
+	return &statsWriter{
+		group: newStatsCollector(schema, every),
+		file:  newStatsCollector(schema, 0),
+	}
+}
+
+func (w *statsWriter) observe(v any) {
+	if w == nil {
+		return
+	}
+	w.group.observe(v)
+	w.file.observe(v)
+}
+
+// cut closes the current record group (the file collector never cuts until
+// finish).
+func (w *statsWriter) cut() {
+	if w == nil {
+		return
+	}
+	w.group.cut()
+}
+
+// finish closes the trailing group and returns the encoded stats section:
+// per-group entries followed by the whole-file aggregate trailer (empty
+// when no records were observed).
+func (w *statsWriter) finish() ([]byte, error) {
+	if w == nil {
+		return nil, nil
+	}
+	w.group.cut()
+	w.file.cut()
+	if len(w.group.entries) == 0 {
+		return nil, nil
+	}
+	if len(w.file.entries) != 1 {
+		return nil, fmt.Errorf("colfile: file aggregate collector produced %d entries, want 1", len(w.file.entries))
+	}
+	return appendStatsSectionV2(nil, w.group.schema, &w.file.entries[0].st, w.group.entries)
+}
+
+// Stats section encoding (current, "CFS2"):
 //
-//	magic "CFST"
-//	uvarint entryCount
-//	per entry:
+//	magic "CFS2"
+//	aggregate entry covering every record in the file
+//	uvarint groupCount
+//	per group entry (same encoding as the aggregate):
 //	  uvarint rows, uvarint nulls, uvarint distinct
 //	  flags byte (hasMinMax | distinctCapped<<1 | hasKeys<<2 | keysCapped<<3)
 //	  [hasMinMax]  len-prefixed serde(min), len-prefixed serde(max)
 //	  [hasKeys]    uvarint keyCount, len-prefixed keys
 //
-// Group starts are implicit: groups tile the record space in order.
-const statsMagic = "CFST"
+// Group starts are implicit: groups tile the record space in order. The
+// aggregate leads the section so split elision decides a whole file's
+// relevance from the footer plus an O(1) parse — never data, never the
+// group entries. Legacy "CFST" sections (groups only, written before the
+// scan planner) still parse; consumers derive the aggregate by merging
+// their groups.
+const (
+	statsMagic   = "CFST"
+	statsMagicV2 = "CFS2"
+)
 
 const (
 	statsFlagMinMax byte = 1 << iota
@@ -234,44 +299,69 @@ const (
 	statsFlagKeysCapped
 )
 
+// appendStatsSection encodes the legacy groups-only section ("CFST").
+// Only tests build it today; the writer emits appendStatsSectionV2.
 func appendStatsSection(dst []byte, schema *serde.Schema, entries []statsEntry) ([]byte, error) {
 	dst = append(dst, statsMagic...)
 	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	var err error
 	for _, e := range entries {
-		st := &e.st
-		dst = binary.AppendUvarint(dst, uint64(st.Rows))
-		dst = binary.AppendUvarint(dst, uint64(st.Nulls))
-		dst = binary.AppendUvarint(dst, uint64(st.Distinct))
-		var flags byte
-		if st.HasMinMax {
-			flags |= statsFlagMinMax
+		if dst, err = appendStatsEntry(dst, schema, &e.st); err != nil {
+			return nil, err
 		}
-		if st.DistinctCapped {
-			flags |= statsFlagDistinctCapped
+	}
+	return dst, nil
+}
+
+// appendStatsSectionV2 encodes the aggregate-first section ("CFS2").
+func appendStatsSectionV2(dst []byte, schema *serde.Schema, agg *scan.ColStats, entries []statsEntry) ([]byte, error) {
+	dst = append(dst, statsMagicV2...)
+	dst, err := appendStatsEntry(dst, schema, agg)
+	if err != nil {
+		return nil, err
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		if dst, err = appendStatsEntry(dst, schema, &e.st); err != nil {
+			return nil, err
 		}
-		if st.HasKeys {
-			flags |= statsFlagHasKeys
-		}
-		if st.KeysCapped {
-			flags |= statsFlagKeysCapped
-		}
-		dst = append(dst, flags)
-		if st.HasMinMax {
-			for _, bound := range []any{st.Min, st.Max} {
-				enc, err := serde.AppendValue(nil, schema, bound)
-				if err != nil {
-					return nil, fmt.Errorf("colfile: encoding stats bound: %w", err)
-				}
-				dst = binary.AppendUvarint(dst, uint64(len(enc)))
-				dst = append(dst, enc...)
+	}
+	return dst, nil
+}
+
+func appendStatsEntry(dst []byte, schema *serde.Schema, st *scan.ColStats) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(st.Rows))
+	dst = binary.AppendUvarint(dst, uint64(st.Nulls))
+	dst = binary.AppendUvarint(dst, uint64(st.Distinct))
+	var flags byte
+	if st.HasMinMax {
+		flags |= statsFlagMinMax
+	}
+	if st.DistinctCapped {
+		flags |= statsFlagDistinctCapped
+	}
+	if st.HasKeys {
+		flags |= statsFlagHasKeys
+	}
+	if st.KeysCapped {
+		flags |= statsFlagKeysCapped
+	}
+	dst = append(dst, flags)
+	if st.HasMinMax {
+		for _, bound := range []any{st.Min, st.Max} {
+			enc, err := serde.AppendValue(nil, schema, bound)
+			if err != nil {
+				return nil, fmt.Errorf("colfile: encoding stats bound: %w", err)
 			}
+			dst = binary.AppendUvarint(dst, uint64(len(enc)))
+			dst = append(dst, enc...)
 		}
-		if st.HasKeys {
-			dst = binary.AppendUvarint(dst, uint64(len(st.Keys)))
-			for _, k := range st.Keys {
-				dst = binary.AppendUvarint(dst, uint64(len(k)))
-				dst = append(dst, k...)
-			}
+	}
+	if st.HasKeys {
+		dst = binary.AppendUvarint(dst, uint64(len(st.Keys)))
+		for _, k := range st.Keys {
+			dst = binary.AppendUvarint(dst, uint64(len(k)))
+			dst = append(dst, k...)
 		}
 	}
 	return dst, nil
@@ -301,101 +391,129 @@ func (c *statsCursor) bytes(n int, what string) ([]byte, error) {
 	return b, nil
 }
 
-// parseStatsSection decodes a stats section. Decoding charges nothing:
-// like the footer and the split's schema file, zone maps are metadata.
-func parseStatsSection(blob []byte, schema *serde.Schema) ([]statsEntry, error) {
-	if len(blob) < len(statsMagic) || string(blob[:len(statsMagic)]) != statsMagic {
-		return nil, fmt.Errorf("colfile: bad stats magic")
+// parseStatsSection decodes a stats section: the per-group entries plus
+// the whole-file aggregate (nil for legacy sections written before the
+// aggregate existed). Decoding charges nothing: like the footer and the
+// split's schema file, zone maps are metadata.
+func parseStatsSection(blob []byte, schema *serde.Schema) ([]statsEntry, *scan.ColStats, error) {
+	agg, c, err := parseStatsHead(blob, schema)
+	if err != nil {
+		return nil, nil, err
 	}
-	c := &statsCursor{buf: blob, pos: len(statsMagic)}
 	n, err := c.uvarint("entry count")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Every entry occupies at least 4 bytes (three uvarints + flags), so a
 	// count beyond that bound is corruption, not a huge file — fail before
 	// make() can panic on an absurd capacity.
 	if n > uint64(len(blob))/4 {
-		return nil, fmt.Errorf("colfile: absurd stats entry count %d for %d-byte section", n, len(blob))
+		return nil, nil, fmt.Errorf("colfile: absurd stats entry count %d for %d-byte section", n, len(blob))
 	}
 	entries := make([]statsEntry, 0, n)
 	var start int64
 	for i := uint64(0); i < n; i++ {
-		var e statsEntry
-		e.start = start
-		rows, err := c.uvarint("rows")
-		if err != nil {
-			return nil, err
-		}
-		nulls, err := c.uvarint("nulls")
-		if err != nil {
-			return nil, err
-		}
-		distinct, err := c.uvarint("distinct")
-		if err != nil {
-			return nil, err
-		}
-		if rows > 1<<40 || nulls > rows || distinct > rows {
-			return nil, fmt.Errorf("colfile: implausible stats entry (rows=%d nulls=%d distinct=%d)", rows, nulls, distinct)
-		}
-		e.st.Rows, e.st.Nulls, e.st.Distinct = int64(rows), int64(nulls), int64(distinct)
-		fb, err := c.bytes(1, "flags")
-		if err != nil {
-			return nil, err
-		}
-		flags := fb[0]
-		e.st.DistinctCapped = flags&statsFlagDistinctCapped != 0
-		e.st.KeysCapped = flags&statsFlagKeysCapped != 0
-		if flags&statsFlagMinMax != 0 {
-			e.st.HasMinMax = true
-			for _, bound := range []*any{&e.st.Min, &e.st.Max} {
-				blen, err := c.uvarint("bound length")
-				if err != nil {
-					return nil, err
-				}
-				enc, err := c.bytes(int(blen), "bound")
-				if err != nil {
-					return nil, err
-				}
-				v, err := serde.NewDecoder(enc, nil).Value(schema)
-				if err != nil {
-					return nil, fmt.Errorf("colfile: decoding stats bound: %w", err)
-				}
-				*bound = v
-			}
-		}
-		if flags&statsFlagHasKeys != 0 {
-			e.st.HasKeys = true
-			kn, err := c.uvarint("key count")
-			if err != nil {
-				return nil, err
-			}
-			if kn > statsMaxKeys {
-				return nil, fmt.Errorf("colfile: absurd stats key count %d", kn)
-			}
-			keys := make([]string, 0, kn)
-			for j := uint64(0); j < kn; j++ {
-				klen, err := c.uvarint("key length")
-				if err != nil {
-					return nil, err
-				}
-				kb, err := c.bytes(int(klen), "key")
-				if err != nil {
-					return nil, err
-				}
-				keys = append(keys, string(kb))
-			}
-			e.st.Keys = keys
+		e := statsEntry{start: start}
+		if err := parseStatsEntry(c, schema, &e.st); err != nil {
+			return nil, nil, err
 		}
 		entries = append(entries, e)
 		start += e.st.Rows
 	}
-	return entries, nil
+	return entries, agg, nil
+}
+
+// parseStatsHead consumes the section magic and, for current sections,
+// the leading aggregate entry, leaving the cursor at the group count.
+func parseStatsHead(blob []byte, schema *serde.Schema) (*scan.ColStats, *statsCursor, error) {
+	if len(blob) < len(statsMagic) {
+		return nil, nil, fmt.Errorf("colfile: stats section too short")
+	}
+	c := &statsCursor{buf: blob, pos: len(statsMagic)}
+	switch string(blob[:len(statsMagic)]) {
+	case statsMagicV2:
+		var agg scan.ColStats
+		if err := parseStatsEntry(c, schema, &agg); err != nil {
+			return nil, nil, err
+		}
+		return &agg, c, nil
+	case statsMagic:
+		return nil, c, nil // legacy: groups only (backward compat)
+	}
+	return nil, nil, fmt.Errorf("colfile: bad stats magic")
+}
+
+func parseStatsEntry(c *statsCursor, schema *serde.Schema, st *scan.ColStats) error {
+	rows, err := c.uvarint("rows")
+	if err != nil {
+		return err
+	}
+	nulls, err := c.uvarint("nulls")
+	if err != nil {
+		return err
+	}
+	distinct, err := c.uvarint("distinct")
+	if err != nil {
+		return err
+	}
+	if rows > 1<<40 || nulls > rows || distinct > rows {
+		return fmt.Errorf("colfile: implausible stats entry (rows=%d nulls=%d distinct=%d)", rows, nulls, distinct)
+	}
+	st.Rows, st.Nulls, st.Distinct = int64(rows), int64(nulls), int64(distinct)
+	fb, err := c.bytes(1, "flags")
+	if err != nil {
+		return err
+	}
+	flags := fb[0]
+	st.DistinctCapped = flags&statsFlagDistinctCapped != 0
+	st.KeysCapped = flags&statsFlagKeysCapped != 0
+	if flags&statsFlagMinMax != 0 {
+		st.HasMinMax = true
+		for _, bound := range []*any{&st.Min, &st.Max} {
+			blen, err := c.uvarint("bound length")
+			if err != nil {
+				return err
+			}
+			enc, err := c.bytes(int(blen), "bound")
+			if err != nil {
+				return err
+			}
+			v, err := serde.NewDecoder(enc, nil).Value(schema)
+			if err != nil {
+				return fmt.Errorf("colfile: decoding stats bound: %w", err)
+			}
+			*bound = v
+		}
+	}
+	if flags&statsFlagHasKeys != 0 {
+		st.HasKeys = true
+		kn, err := c.uvarint("key count")
+		if err != nil {
+			return err
+		}
+		if kn > statsMaxKeys {
+			return fmt.Errorf("colfile: absurd stats key count %d", kn)
+		}
+		keys := make([]string, 0, kn)
+		for j := uint64(0); j < kn; j++ {
+			klen, err := c.uvarint("key length")
+			if err != nil {
+				return err
+			}
+			kb, err := c.bytes(int(klen), "key")
+			if err != nil {
+				return err
+			}
+			keys = append(keys, string(kb))
+		}
+		st.Keys = keys
+	}
+	return nil
 }
 
 // statsLoader lazily reads and indexes a file's stats section, serving
-// GroupStats to all reader layouts. The section read is uncharged
-// metadata, like the footer.
+// GroupStats and FileStats to all reader layouts. The section read is
+// uncharged metadata, like the footer.
 type statsLoader struct {
 	src    ReaderAtSize
 	schema *serde.Schema
@@ -403,6 +521,7 @@ type statsLoader struct {
 	size   int64
 
 	entries []statsEntry
+	agg     *scan.ColStats
 	loaded  bool
 	failed  bool
 }
@@ -431,6 +550,39 @@ func (l *statsLoader) GroupStats(rec int64) (*scan.ColStats, int64) {
 	return &e.st, end
 }
 
+// FileStats implements FileStatsSource. For files written before the
+// aggregate trailer existed it derives the aggregate by merging the
+// per-group entries, so old datasets prune at the file tier too.
+func (l *statsLoader) FileStats() *scan.ColStats {
+	if l == nil || l.size == 0 || l.failed {
+		return nil
+	}
+	if !l.loaded {
+		l.load()
+		if l.failed {
+			return nil
+		}
+	}
+	if l.agg == nil {
+		l.agg = mergeEntries(l.entries)
+	}
+	return l.agg
+}
+
+// mergeEntries derives a whole-file aggregate from per-group entries (the
+// legacy-section path shared by both file-tier consumers). nil when there
+// are no entries.
+func mergeEntries(entries []statsEntry) *scan.ColStats {
+	if len(entries) == 0 {
+		return nil
+	}
+	var m scan.ColStats
+	for i := range entries {
+		m.Merge(&entries[i].st)
+	}
+	return &m
+}
+
 func (l *statsLoader) load() {
 	l.loaded = true
 	blob := make([]byte, l.size)
@@ -442,10 +594,50 @@ func (l *statsLoader) load() {
 		l.failed = true
 		return
 	}
-	entries, err := parseStatsSection(blob, l.schema)
+	entries, agg, err := parseStatsSection(blob, l.schema)
 	if err != nil {
 		l.failed = true
 		return
 	}
 	l.entries = entries
+	l.agg = agg
+}
+
+// FileStats reads a column file's whole-file aggregate statistics using
+// only the footer and the adjacent stats section — never the data region,
+// and never the accounting sink. Current sections lead with the aggregate,
+// so the parse is O(1) in the number of record groups; legacy sections
+// fall back to merging their group entries. This is the scheduler tier's
+// view: split elision decides a file's relevance from it before any map
+// task exists. It returns (nil, nil) for files without (or with
+// unreadable) statistics — planning degrades, it does not fail.
+func FileStats(r ReaderAtSize, schema *serde.Schema) (*scan.ColStats, error) {
+	_, statsLen, err := readFooter(r)
+	if err != nil {
+		return nil, err
+	}
+	if statsLen == 0 {
+		return nil, nil
+	}
+	blob := make([]byte, statsLen)
+	readAt := r.ReadAt
+	if u, ok := r.(unchargedReaderAt); ok {
+		readAt = u.UnchargedReadAt
+	}
+	if _, err := readAt(blob, r.Size()-footerSize-statsLen); err != nil && err != io.EOF {
+		return nil, nil
+	}
+	agg, _, err := parseStatsHead(blob, schema)
+	if err != nil {
+		return nil, nil
+	}
+	if agg != nil {
+		return agg, nil
+	}
+	// Legacy groups-only section: merge the entries.
+	entries, _, err := parseStatsSection(blob, schema)
+	if err != nil {
+		return nil, nil
+	}
+	return mergeEntries(entries), nil
 }

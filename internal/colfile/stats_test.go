@@ -208,3 +208,197 @@ func TestStatsBytesColumn(t *testing.T) {
 		t.Fatalf("bytes min decoded as %T", st.Min)
 	}
 }
+
+// fileStatsSource asserts a reader exposes whole-file aggregates and
+// returns it typed.
+func fileStatsSource(t *testing.T, r Reader, name string) FileStatsSource {
+	t.Helper()
+	src, ok := r.(FileStatsSource)
+	if !ok {
+		t.Fatalf("%s: reader %T does not implement FileStatsSource", name, r)
+	}
+	return src
+}
+
+// TestFileStatsAggregateRoundTrip writes a monotone int column in every
+// layout and checks the whole-file aggregate both through an opened reader
+// and through the footer-only package entry point.
+func TestFileStatsAggregateRoundTrip(t *testing.T) {
+	schema := serde.Int()
+	const n = 437
+	for _, opts := range allLayouts() {
+		if opts.Layout == DCSL {
+			continue // map-only layout
+		}
+		opts.StatsEvery = 50
+		name := opts.Layout.String() + "/" + opts.Codec
+		f, _ := writeColumn(t, schema, opts, n, func(i int) any { return int32(i * 3) })
+
+		check := func(st *scan.ColStats, via string) {
+			if st == nil {
+				t.Fatalf("%s: no aggregate via %s", name, via)
+			}
+			if st.Rows != n || st.Nulls != 0 {
+				t.Errorf("%s via %s: rows/nulls = %d/%d, want %d/0", name, via, st.Rows, st.Nulls, n)
+			}
+			if !st.HasMinMax || st.Min != int32(0) || st.Max != int32((n-1)*3) {
+				t.Errorf("%s via %s: min/max = %v/%v, want 0/%d", name, via, st.Min, st.Max, (n-1)*3)
+			}
+			if !st.DistinctCapped {
+				t.Errorf("%s via %s: %d distinct values should exceed the per-group cap", name, via, n)
+			}
+		}
+		st, err := FileStats(f.reader(), schema)
+		if err != nil {
+			t.Fatalf("%s: FileStats: %v", name, err)
+		}
+		check(st, "FileStats")
+
+		r, err := NewReader(f.reader(), schema, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(fileStatsSource(t, r, name).FileStats(), "reader")
+	}
+}
+
+// TestFileStatsAggregateKeys checks the whole-file key universe of a DCSL
+// map column: the aggregate unions the per-window universes, so a key
+// absent from the union is disprovable at the file tier.
+func TestFileStatsAggregateKeys(t *testing.T) {
+	schema := mapSchema()
+	const n = 120
+	f, _ := writeColumn(t, schema, Options{Layout: DCSL, Levels: []int{100, 10}, StatsEvery: 40}, n, func(i int) any {
+		m := map[string]any{"always": int32(i)}
+		if i < 60 {
+			m["early"] = int32(i)
+		} else {
+			m["late"] = int32(i)
+		}
+		return m
+	})
+	st, err := FileStats(f.reader(), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil || !st.HasKeys || st.KeysCapped {
+		t.Fatalf("aggregate = %+v, want complete key universe", st)
+	}
+	for _, k := range []string{"always", "early", "late"} {
+		if !st.HasKey(k) {
+			t.Errorf("aggregate key universe misses %q", k)
+		}
+	}
+	if st.HasKey("never") {
+		t.Error("aggregate key universe claims a key no record has")
+	}
+}
+
+// TestFileStatsBackwardCompat assembles a file whose stats section predates
+// the aggregate trailer (per-group entries only) and checks that it still
+// opens, serves group stats, and derives a whole-file aggregate by merging
+// groups.
+func TestFileStatsBackwardCompat(t *testing.T) {
+	schema := serde.Int()
+	const n = 100
+	// Hand-assemble a Plain file the way the pre-trailer writer did.
+	zm := newStatsCollector(schema, 40)
+	var data []byte
+	data = appendHeader(data, header{layout: Plain})
+	for i := 0; i < n; i++ {
+		enc, err := serde.AppendValue(nil, schema, int32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = append(data, enc...)
+		zm.observe(int32(i))
+	}
+	zm.cut()
+	section, err := appendStatsSection(nil, schema, zm.entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, section...)
+	data = appendFooter(data, n, len(section))
+	f := &memFile{}
+	f.Write(data)
+
+	r, err := NewReader(f.reader(), schema, nil)
+	if err != nil {
+		t.Fatalf("pre-aggregate file does not open: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		v, err := r.Value()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != int32(i) {
+			t.Fatalf("record %d = %v", i, v)
+		}
+	}
+	if st, _ := statsSource(t, r, "plain").GroupStats(0); st == nil {
+		t.Fatal("pre-aggregate file serves no group stats")
+	}
+	st := fileStatsSource(t, r, "plain").FileStats()
+	if st == nil {
+		t.Fatal("no aggregate derived from per-group entries")
+	}
+	if st.Rows != n || st.Min != int32(0) || st.Max != int32(n-1) {
+		t.Errorf("merged aggregate = rows %d min %v max %v, want %d 0 %d", st.Rows, st.Min, st.Max, n, n-1)
+	}
+}
+
+// TestDCSLKeyProbe checks the DCSL reader's key prober against
+// materialized truth for every record, and that a key outside the window
+// dictionary is refuted without decoding anything.
+func TestDCSLKeyProbe(t *testing.T) {
+	schema := mapSchema()
+	const n = 230
+	gen := func(i int) any {
+		m := map[string]any{}
+		if i%2 == 0 {
+			m["even"] = int32(i)
+		}
+		if i%3 == 0 {
+			m["third"] = int32(i)
+		}
+		m["k"+string(rune('a'+i%5))] = int32(i)
+		return m
+	}
+	f, vals := writeColumn(t, schema, Options{Layout: DCSL, Levels: []int{100, 10}}, n, gen)
+	r, err := NewReader(f.reader(), schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, ok := r.(KeyProber)
+	if !ok {
+		t.Fatalf("DCSL reader %T does not implement KeyProber", r)
+	}
+	keys := []string{"even", "third", "ka", "kb", "absent"}
+	for i := 0; i < n; i++ {
+		if err := r.SkipTo(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		want := vals[i].(map[string]any)
+		for _, key := range keys {
+			has, answered, err := kp.HasKey(key)
+			if err != nil {
+				t.Fatalf("record %d key %q: %v", i, key, err)
+			}
+			if !answered {
+				t.Fatalf("record %d key %q: prober did not answer", i, key)
+			}
+			if _, truth := want[key]; has != truth {
+				t.Fatalf("record %d key %q: probe = %v, want %v", i, key, has, truth)
+			}
+		}
+		// Probing must not move the cursor: the value must still decode.
+		v, err := r.Value()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !serde.ValuesEqual(schema, v, vals[i]) {
+			t.Fatalf("record %d corrupted by probing: %v vs %v", i, v, vals[i])
+		}
+	}
+}

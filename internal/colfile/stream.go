@@ -22,14 +22,26 @@ type stream struct {
 	size  int64
 	chunk int
 
+	// Adaptive readahead (selective scans): when chunkMin is set below
+	// chunk, a jump observed between refills shrinks the granularity to
+	// chunkMin and sequential refills double it back up to chunkMax —
+	// small prefetch while the cursor hops between qualifying groups,
+	// full streaming when the scan is dense. A scan that never jumps
+	// never shrinks, so an unselective predicate costs exactly a plain
+	// scan.
+	chunkMin int
+	chunkMax int
+	seqEnd   int64 // file offset one past the previous refill, -1 initially
+
 	base int64  // file offset of buf[0]
 	buf  []byte // buffered window
 	off  int    // cursor within buf
 
 	// onRefill, when set, is invoked on every physical refill with the
-	// number of bytes about to be fetched. CIF uses it to charge
-	// multi-stream interleave cost (hdfs.FileReader.ChargeInterleaved).
-	onRefill func(bytes int)
+	// number of bytes about to be fetched and the refill granularity in
+	// effect. CIF uses it to charge multi-stream interleave cost
+	// (hdfs.FileReader.ChargeInterleaved), normalized per granularity.
+	onRefill func(bytes, chunk int)
 
 	// dataEnd bounds reads: bytes at and after this offset (the footer)
 	// are not part of the value stream.
@@ -41,7 +53,15 @@ func newStream(r ReaderAtSize, chunk int) *stream {
 		chunk = defaultChunk
 	}
 	size := r.Size()
-	return &stream{r: r, size: size, chunk: chunk, dataEnd: size}
+	return &stream{r: r, size: size, chunk: chunk, chunkMin: chunk, chunkMax: chunk, dataEnd: size, seqEnd: -1}
+}
+
+// setShrink enables adaptive readahead with min bytes as the post-jump
+// refill granularity.
+func (s *stream) setShrink(min int) {
+	if min > 0 && min < s.chunk {
+		s.chunkMin = min
+	}
 }
 
 // pos returns the stream cursor's absolute file offset.
@@ -92,11 +112,24 @@ func (s *stream) ensure(n int) error {
 		s.off = 0
 	}
 	for len(s.buf) < n {
+		readAt := s.base + int64(len(s.buf))
+		if s.chunkMin < s.chunkMax {
+			if s.seqEnd >= 0 && readAt != s.seqEnd {
+				// The cursor jumped since the last refill: back to small
+				// prefetch.
+				s.chunk = s.chunkMin
+			} else if s.chunk < s.chunkMax {
+				// Sequential refill: ramp back toward full streaming.
+				s.chunk *= 2
+				if s.chunk > s.chunkMax {
+					s.chunk = s.chunkMax
+				}
+			}
+		}
 		want := s.chunk
 		if want < n-len(s.buf) {
 			want = n - len(s.buf)
 		}
-		readAt := s.base + int64(len(s.buf))
 		if max := s.dataEnd - readAt; int64(want) > max {
 			want = int(max)
 		}
@@ -105,7 +138,7 @@ func (s *stream) ensure(n int) error {
 		}
 		chunk := make([]byte, want)
 		if s.onRefill != nil {
-			s.onRefill(want)
+			s.onRefill(want, s.chunk)
 		}
 		m, err := s.r.ReadAt(chunk, readAt)
 		s.buf = append(s.buf, chunk[:m]...)
@@ -115,6 +148,7 @@ func (s *stream) ensure(n int) error {
 		if m == 0 {
 			return io.ErrUnexpectedEOF
 		}
+		s.seqEnd = readAt + int64(m)
 	}
 	return nil
 }
@@ -160,6 +194,38 @@ func (s *stream) readUvarint() (uint64, error) {
 		}
 	}
 	return 0, io.ErrUnexpectedEOF
+}
+
+// peekUvarint decodes a uvarint at the cursor without consuming it,
+// returning the value and its encoded width.
+func (s *stream) peekUvarint() (uint64, int, error) {
+	for need := 1; need <= binary.MaxVarintLen64; need++ {
+		if err := s.ensure(need); err != nil {
+			v, n := binary.Uvarint(s.view())
+			if n > 0 {
+				return v, n, nil
+			}
+			return 0, 0, err
+		}
+		v, n := binary.Uvarint(s.view())
+		if n > 0 {
+			return v, n, nil
+		}
+		if n < 0 {
+			return 0, 0, fmt.Errorf("colfile: uvarint overflow at offset %d", s.pos())
+		}
+	}
+	return 0, 0, io.ErrUnexpectedEOF
+}
+
+// peekAt returns n bytes starting skip bytes past the cursor, consuming
+// nothing. The returned slice aliases the window and is valid until the
+// next stream call.
+func (s *stream) peekAt(skip, n int) ([]byte, error) {
+	if err := s.ensure(skip + n); err != nil {
+		return nil, err
+	}
+	return s.buf[s.off+skip : s.off+skip+n], nil
 }
 
 // errShortDecode marks decode attempts that ran off the buffered window and

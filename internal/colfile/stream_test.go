@@ -135,7 +135,7 @@ func TestStreamRefillHookReportsBytes(t *testing.T) {
 	data := make([]byte, 1024)
 	s := newTestStream(data, 256)
 	var total int
-	s.onRefill = func(n int) { total += n }
+	s.onRefill = func(n, _ int) { total += n }
 	for i := 0; i < 4; i++ {
 		if _, err := s.readFull(256); err != nil {
 			t.Fatal(err)
@@ -158,5 +158,41 @@ func TestStreamDataEndExcludesFooter(t *testing.T) {
 	}
 	if got := s.remainingInFile(); got != 0 {
 		t.Errorf("remainingInFile = %d, want 0", got)
+	}
+}
+
+func TestStreamAdaptiveShrink(t *testing.T) {
+	data := make([]byte, 1<<20)
+	s := newTestStream(data, 64<<10)
+	s.setShrink(4 << 10)
+	var sizes []int
+	s.onRefill = func(n, _ int) { sizes = append(sizes, n) }
+
+	// Sequential reads stream at the full granularity.
+	if _, err := s.readFull(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 1 || sizes[0] != 64<<10 {
+		t.Fatalf("first refill = %v, want one 64K fetch", sizes)
+	}
+	// A jump past the window shrinks the next refill to the floor...
+	if err := s.seekTo(300 << 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.readFull(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := sizes[len(sizes)-1]; got != 4<<10 {
+		t.Fatalf("post-jump refill = %d, want 4K", got)
+	}
+	// ...and contiguous consumption ramps refills back up to the full
+	// granularity (4K -> 8K -> 16K -> 32K -> 64K).
+	for i := 0; i < 50; i++ {
+		if _, err := s.readFull(4 << 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sizes[len(sizes)-1]; got != 64<<10 {
+		t.Fatalf("ramped refill = %d, want back at 64K (refills: %v)", got, sizes)
 	}
 }

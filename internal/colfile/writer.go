@@ -37,7 +37,7 @@ func NewWriter(w io.Writer, schema *serde.Schema, opts Options, stats *sim.CPUSt
 	switch opts.Layout {
 	case Plain:
 		return &plainWriter{w: w, schema: schema, stats: stats,
-			zm: newStatsCollector(schema, opts.StatsEvery)}, nil
+			zm: newStatsWriter(schema, opts.StatsEvery)}, nil
 	case Block:
 		codec, err := compress.ByName(opts.Codec)
 		if err != nil {
@@ -50,7 +50,7 @@ func NewWriter(w io.Writer, schema *serde.Schema, opts Options, stats *sim.CPUSt
 			every = -1
 		}
 		return &blockWriter{w: w, schema: schema, stats: stats, codec: codec, blockBytes: opts.BlockBytes,
-			zm: newStatsCollector(schema, every)}, nil
+			zm: newStatsWriter(schema, every)}, nil
 	case SkipList, DCSL:
 		return &slWriter{
 			w:      w,
@@ -58,15 +58,16 @@ func NewWriter(w io.Writer, schema *serde.Schema, opts Options, stats *sim.CPUSt
 			stats:  stats,
 			levels: opts.Levels,
 			dcsl:   opts.Layout == DCSL,
-			zm:     newStatsCollector(schema, opts.StatsEvery),
+			zm:     newStatsWriter(schema, opts.StatsEvery),
 		}, nil
 	}
 	return nil, fmt.Errorf("colfile: unsupported layout %v", opts.Layout)
 }
 
 // closeWith finalizes a writer: it emits the zone-map stats section
-// followed by the footer recording the record count and stats length.
-func closeWith(w io.Writer, zm *statsCollector, count int64) error {
+// (per-group entries plus the whole-file aggregate) followed by the footer
+// recording the record count and stats length.
+func closeWith(w io.Writer, zm *statsWriter, count int64) error {
 	blob, err := zm.finish()
 	if err != nil {
 		return err
@@ -92,7 +93,7 @@ type plainWriter struct {
 	w       io.Writer
 	schema  *serde.Schema
 	stats   *sim.CPUStats
-	zm      *statsCollector
+	zm      *statsWriter
 	count   int64
 	scratch []byte
 }
@@ -123,7 +124,7 @@ type blockWriter struct {
 	w          io.Writer
 	schema     *serde.Schema
 	stats      *sim.CPUStats
-	zm         *statsCollector
+	zm         *statsWriter
 	codec      compress.Codec
 	blockBytes int
 
@@ -186,7 +187,7 @@ type slWriter struct {
 	w      io.Writer
 	schema *serde.Schema
 	stats  *sim.CPUStats
-	zm     *statsCollector
+	zm     *statsWriter
 	levels []int
 	dcsl   bool
 

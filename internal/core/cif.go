@@ -37,6 +37,13 @@ type Split struct {
 	// Columns is the projection captured at split-generation time, used
 	// for locality ranking (only projected files matter).
 	Columns []string
+	// Judged records that the scheduler tier already tested every
+	// directory in this split against the job's predicate (elision was
+	// on). The reader then skips its own file pruning tier — the same
+	// planner over the same aggregates cannot reach a different verdict —
+	// so hand-built splits keep the reader-side defense while planned
+	// ones avoid re-reading stats sections that were just consulted.
+	Judged bool
 }
 
 // String implements mapred.Split.
@@ -110,34 +117,124 @@ type InputFormat struct {
 	DirsPerSplit int
 }
 
-// Splits implements mapred.InputFormat.
+// Splits implements mapred.InputFormat. The report-free interface cannot
+// hand its caller the elided splits' accounting, so elision is reserved
+// for PlannedSplits (the engine's path): Splits callers get every
+// split-directory and rely on the reader-side tiers, keeping their
+// aggregated TaskStats sums complete.
 func (f *InputFormat) Splits(fs *hdfs.FileSystem, conf *mapred.JobConf) ([]mapred.Split, error) {
+	splits, _, err := f.plannedSplits(fs, conf, false)
+	return splits, err
+}
+
+// PlannedSplits implements mapred.PlannedInputFormat: split-directory
+// listing plus the scan planner's scheduler tier. When the job carries a
+// predicate (and scan.SetElision has not disabled it), each
+// split-directory's filter-column files are judged by their whole-file
+// aggregate statistics — read from footers, never data — and directories
+// proven irrelevant are dropped before a map task exists for them. This is
+// the PowerDrill chunk-skip lifted to the scheduling unit the paper built
+// CIF around.
+func (f *InputFormat) PlannedSplits(fs *hdfs.FileSystem, conf *mapred.JobConf) ([]mapred.Split, scan.PruneReport, error) {
+	return f.plannedSplits(fs, conf, true)
+}
+
+func (f *InputFormat) plannedSplits(fs *hdfs.FileSystem, conf *mapred.JobConf, allowElide bool) ([]mapred.Split, scan.PruneReport, error) {
 	per := f.DirsPerSplit
 	if per < 1 {
 		per = 1
 	}
 	columns := projection(conf)
+	pred, err := scan.FromConf(conf)
+	if err != nil {
+		return nil, scan.PruneReport{}, err
+	}
+	planner := scan.NewPlanner(pred)
 	// Locality ranks by the files a map task will actually open: the
 	// projection plus any filter-only predicate columns (Columns dedups
 	// against the slice it extends).
-	if pred, err := scan.FromConf(conf); err == nil && pred != nil && len(columns) > 0 {
+	if pred != nil && len(columns) > 0 {
 		columns = pred.Columns(columns)
 	}
+	report := scan.PruneReport{Columns: planner.FilterColumns()}
+	elide := allowElide && pred != nil && scan.ElisionFromConf(conf)
 	var out []mapred.Split
 	for _, dataset := range conf.InputPaths {
 		dirs, err := listSplitDirs(fs, dataset)
 		if err != nil {
-			return nil, err
+			return nil, report, err
+		}
+		report.SplitsTotal += len(dirs)
+		if elide {
+			kept := make([]string, 0, len(dirs))
+			for _, dir := range dirs {
+				if pruneSplitDir(fs, dir, planner, &report) {
+					report.SplitsPruned++
+					continue
+				}
+				kept = append(kept, dir)
+			}
+			dirs = kept
 		}
 		for i := 0; i < len(dirs); i += per {
 			j := i + per
 			if j > len(dirs) {
 				j = len(dirs)
 			}
-			out = append(out, &Split{Dirs: dirs[i:j], Columns: columns})
+			out = append(out, &Split{Dirs: dirs[i:j], Columns: columns, Judged: elide})
 		}
 	}
-	return out, nil
+	return out, report, nil
+}
+
+// pruneSplitDir decides the scheduler tier for one split-directory. Filter
+// columns resolve lazily, so only the files the predicate's Prune
+// traversal actually consults cost a footer read. Every failure mode
+// (missing schema, missing file, corrupt stats) degrades to "no
+// statistics", never to a scheduling error: a directory the planner cannot
+// judge is scheduled, and real I/O errors surface in the task that opens
+// it.
+func pruneSplitDir(fs *hdfs.FileSystem, dir string, planner *scan.Planner, report *scan.PruneReport) bool {
+	schema, err := readSplitSchema(fs, dir)
+	if err != nil {
+		return false
+	}
+	cache := make(map[string]*scan.ColStats, len(planner.FilterColumns()))
+	stats := func(col string) *scan.ColStats {
+		if st, ok := cache[col]; ok {
+			return st
+		}
+		var st *scan.ColStats
+		if cs := schema.Field(col); cs != nil {
+			if hr, err := fs.Open(dir+"/"+col, hdfs.AnyNode); err == nil {
+				report.FilesChecked++
+				st, _ = colfile.FileStats(hr, cs)
+				hr.Close()
+			}
+		}
+		cache[col] = st
+		return st
+	}
+	// The record-count fallback covers proofs that consulted no
+	// statistics (a constant-false predicate): the elided records still
+	// need accounting, from any column's footer.
+	recordCount := func() int64 {
+		if len(schema.Fields) == 0 {
+			return 0
+		}
+		hr, err := fs.Open(dir+"/"+schema.Fields[0].Name, hdfs.AnyNode)
+		if err != nil {
+			return 0
+		}
+		defer hr.Close()
+		n, _ := colfile.RecordCount(hr)
+		return n
+	}
+	pruned, rows := planner.PruneFileRows(stats, recordCount)
+	if pruned {
+		report.RecordsPruned += rows
+	}
+	return pruned
 }
 
 func projection(conf *mapred.JobConf) []string {
@@ -173,7 +270,10 @@ func (f *InputFormat) Open(fs *hdfs.FileSystem, conf *mapred.JobConf, split mapr
 	if err != nil {
 		return nil, err
 	}
-	return newReader(fs, csplit.Dirs, columns, lazy, pred, node, stats)
+	// The reader's file tier runs only for splits the scheduler has not
+	// already judged (and not at all when elision is disabled).
+	fileTier := scan.ElisionFromConf(conf) && !csplit.Judged
+	return newReader(fs, csplit.Dirs, columns, lazy, pred, fileTier, node, stats)
 }
 
 // Reader iterates the records of a CIF split. It is also usable directly
@@ -184,7 +284,15 @@ type Reader struct {
 	node  hdfs.NodeID
 	stats *sim.TaskStats
 	lazy  bool
-	pred  scan.Predicate
+	// elide enables the file pruning tier: on unless scan.SetElision
+	// disabled it or the scheduler already judged this split's
+	// directories. The group and value tiers run whenever a predicate is
+	// set.
+	elide bool
+	// planner drives the conservative pruning tiers (file and group) and
+	// owns the predicate; it shares one implementation with the split
+	// scheduler (internal/scan).
+	planner *scan.Planner
 
 	schema  *serde.Schema // full dataset schema
 	proj    *serde.Schema // projected record schema
@@ -198,9 +306,9 @@ type Reader struct {
 	total   int64 // records in the open split-directory
 	curPos  int64 // index of the record most recently returned by Next
 	done    bool
-	// evalGet is the column accessor predicate evaluation uses, built
-	// once per reader (Eval runs per record; the scan loop is hot).
-	evalGet scan.Getter
+	// eval is the column accessor predicate evaluation uses, built once
+	// per reader (Eval runs per record; the scan loop is hot).
+	eval evalCtx
 	// pruneValidTo bounds the records covered by the last MayMatch
 	// zone-map verdict; pruning re-runs only once curPos crosses it.
 	pruneValidTo int64
@@ -224,7 +332,7 @@ type cursor struct {
 	cachedPos int64
 }
 
-func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, pred scan.Predicate, node hdfs.NodeID, stats *sim.TaskStats) (*Reader, error) {
+func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, pred scan.Predicate, elide bool, node hdfs.NodeID, stats *sim.TaskStats) (*Reader, error) {
 	schema, err := readSplitSchema(fs, dirs[0])
 	if err != nil {
 		return nil, err
@@ -255,7 +363,8 @@ func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, 
 		node:           node,
 		stats:          stats,
 		lazy:           lazy,
-		pred:           pred,
+		elide:          elide,
+		planner:        scan.NewPlanner(pred),
 		schema:         schema,
 		proj:           proj,
 		columns:        columns,
@@ -266,42 +375,58 @@ func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, 
 		lastCountedDir: -1,
 	}
 	r.lrec = &LazyRecord{reader: r}
-	r.evalGet = func(col string) (any, error) {
-		c, err := r.cursorFor(col)
-		if err != nil {
-			return nil, err
-		}
-		return r.valueAt(c)
-	}
+	r.eval = evalCtx{r}
 	if err := r.nextDir(); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
-// nextDir closes the current split-directory's cursors and opens the next.
+// nextDir closes the current split-directory's cursors and opens the next
+// one the planner's file tier cannot disprove. Directories whose
+// filter-column aggregates prove NoMatch are crossed without building any
+// group index or reading any data byte — only footers and stats sections
+// (uncharged metadata) are touched.
 func (r *Reader) nextDir() error {
-	for _, c := range r.cursors {
-		c.hr.Close()
-	}
-	r.cursors = nil
-	r.byName = nil
-	r.dirIdx++
-	if r.dirIdx >= len(r.dirs) {
-		r.done = true
-		return nil
-	}
-	dir := r.dirs[r.dirIdx]
-	if r.dirIdx > 0 {
-		// Subsequent directories must agree on the schema.
-		s, err := readSplitSchema(r.fs, dir)
+	for {
+		for _, c := range r.cursors {
+			c.hr.Close()
+		}
+		r.cursors = nil
+		r.byName = nil
+		r.dirIdx++
+		if r.dirIdx >= len(r.dirs) {
+			r.done = true
+			return nil
+		}
+		dir := r.dirs[r.dirIdx]
+		if r.dirIdx > 0 {
+			// Subsequent directories must agree on the schema.
+			s, err := readSplitSchema(r.fs, dir)
+			if err != nil {
+				return err
+			}
+			if !s.Equal(r.schema) {
+				return fmt.Errorf("core: split-directory %s schema differs from %s", dir, r.dirs[0])
+			}
+		}
+		pruned, err := r.openDir(dir)
 		if err != nil {
 			return err
 		}
-		if !s.Equal(r.schema) {
-			return fmt.Errorf("core: split-directory %s schema differs from %s", dir, r.dirs[0])
+		if pruned {
+			continue
 		}
+		r.curPos = -1
+		r.pruneValidTo = 0
+		return nil
 	}
+}
+
+// openDir opens dir's column files and builds cursors, unless the file
+// pruning tier proves the directory irrelevant first (pruned=true, no
+// cursors left open).
+func (r *Reader) openDir(dir string) (pruned bool, err error) {
 	var cpu *sim.CPUStats
 	if r.stats != nil {
 		cpu = &r.stats.CPU
@@ -320,6 +445,18 @@ func (r *Reader) nextDir() error {
 	if tu := int(r.fs.Config().TransferUnit); chunk < tu {
 		chunk = tu
 	}
+	ropts := colfile.ReaderOptions{Chunk: chunk}
+	selective := r.planner.Predicate() != nil
+	if selective && sim.SelectiveReadaheadBytes < chunk {
+		// Adaptive readahead: a selective scan jumps between qualifying
+		// groups instead of streaming, so a full window mostly prefetches
+		// bytes the next jump discards. Once a jump is observed, refills
+		// shrink below the transfer unit — trading unit-granular charges
+		// for the chance that the next jump clears a whole unit — and
+		// sequential refills ramp back to the full window, so a dense
+		// (unselective) predicate costs exactly a plain scan.
+		ropts.ChunkMin = sim.SelectiveReadaheadBytes
+	}
 	// A refill seeks only when another stream moved the arm of this
 	// stream's disk since its last refill. With blocks spread round-robin
 	// over D disks and S streams refilling in rotation, that probability
@@ -327,27 +464,46 @@ func (r *Reader) nextDir() error {
 	// the thirteen-column full scan (DESIGN.md, decision 4; this is why
 	// the paper's CIF full-record scan trails SEQ by ~25%). Charged per
 	// byte — normalized to the model's readahead window so smaller
-	// buffers cost proportionally more — so it extrapolates exactly
-	// across scales.
+	// buffers cost proportionally more (the ramp reports its granularity
+	// per refill) — so it extrapolates exactly across scales.
 	collide := interleaveFactor(len(r.allCols), r.fs.Config().DisksPerNode)
-	chargePerByte := collide * float64(sim.ReadaheadBytes) / float64(chunk)
+	files := make([]*hdfs.FileReader, 0, len(r.allCols))
+	closeAll := func() {
+		for _, hr := range files {
+			hr.Close()
+		}
+	}
 	for _, col := range r.allCols {
 		hr, err := r.fs.Open(dir+"/"+col, r.node)
 		if err != nil {
-			return fmt.Errorf("core: opening column %q: %w", col, err)
+			closeAll()
+			return false, fmt.Errorf("core: opening column %q: %w", col, err)
 		}
+		files = append(files, hr)
+	}
+	// File tier: consult the filter columns' whole-file aggregates before
+	// any reader parses a header or charges a byte. Disabled together with
+	// scheduler elision (scan.SetElision), which restores the
+	// group-tier-only baseline for comparison.
+	if selective && r.elide && r.pruneDirFiles(files) {
+		closeAll()
+		return true, nil
+	}
+	for i, col := range r.allCols {
+		hr := files[i]
 		if r.stats != nil {
 			hr.SetStats(&r.stats.IO)
 		}
-		opts := colfile.ReaderOptions{Chunk: chunk}
-		if chargePerByte > 0 {
-			opts.OnRefill = func(n int) {
-				hr.ChargeInterleaved(int64(float64(n)*chargePerByte + 0.5))
+		opts := ropts
+		if collide > 0 {
+			opts.OnRefill = func(n, cur int) {
+				hr.ChargeInterleaved(int64(float64(n)*collide*float64(sim.ReadaheadBytes)/float64(cur) + 0.5))
 			}
 		}
 		cr, err := colfile.NewReaderOpts(hr, r.schema.Field(col), opts, cpu)
 		if err != nil {
-			return fmt.Errorf("core: column %q: %w", col, err)
+			closeAll()
+			return false, fmt.Errorf("core: column %q: %w", col, err)
 		}
 		r.cursors = append(r.cursors, &cursor{name: col, schema: r.schema.Field(col), hr: hr, r: cr, cachedPos: -1})
 	}
@@ -358,12 +514,48 @@ func (r *Reader) nextDir() error {
 	r.total = r.cursors[0].r.Total()
 	for _, c := range r.cursors {
 		if c.r.Total() != r.total {
-			return fmt.Errorf("core: column %q has %d records, %q has %d", c.name, c.r.Total(), r.cursors[0].name, r.total)
+			return false, fmt.Errorf("core: column %q has %d records, %q has %d", c.name, c.r.Total(), r.cursors[0].name, r.total)
 		}
 	}
-	r.curPos = -1
-	r.pruneValidTo = 0
-	return nil
+	return false, nil
+}
+
+// pruneDirFiles decides the file tier for the already-opened (but not yet
+// parsed) column files: their whole-file aggregates are read from footers
+// and handed to the planner. On a NoMatch proof the pruned records and
+// skipped files are counted; the split scheduler usually elides such
+// directories first, but the reader tier still fires when elision is off,
+// when DirsPerSplit groups directories, and for direct Reader use.
+func (r *Reader) pruneDirFiles(files []*hdfs.FileReader) bool {
+	stats := func(col string) *scan.ColStats {
+		for i, name := range r.allCols {
+			if name != col {
+				continue
+			}
+			st, err := colfile.FileStats(files[i], r.schema.Field(col))
+			if err != nil {
+				return nil
+			}
+			return st
+		}
+		return nil
+	}
+	recordCount := func() int64 {
+		if len(files) == 0 {
+			return 0
+		}
+		n, _ := colfile.RecordCount(files[0])
+		return n
+	}
+	pruned, rows := r.planner.PruneFileRows(stats, recordCount)
+	if !pruned {
+		return false
+	}
+	if r.stats != nil {
+		r.stats.FilesPruned += int64(len(files))
+		r.stats.RecordsPruned += rows
+	}
+	return true
 }
 
 // Next implements mapred.RecordReader. In lazy mode the returned Record is
@@ -383,7 +575,7 @@ func (r *Reader) Next() (any, any, bool, error) {
 			continue
 		}
 		r.curPos++
-		if r.pred == nil {
+		if r.planner.Predicate() == nil {
 			break
 		}
 		ok, err := r.qualifies()

@@ -80,12 +80,16 @@ func scanAll(t *testing.T, fs *hdfs.FileSystem, dataset string, conf *mapred.Job
 		conf = &mapred.JobConf{}
 	}
 	conf.InputPaths = []string{dataset}
-	splits, err := in.Splits(fs, conf)
+	splits, report, err := in.PlannedSplits(fs, conf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var rows []map[string]any
 	var total sim.TaskStats
+	// Fold the scheduler tier's pruning into the aggregate, as the engine
+	// does, so counters cover the whole dataset whichever tier pruned.
+	total.SplitsPruned += int64(report.SplitsPruned)
+	total.RecordsPruned += report.RecordsPruned
 	for _, sp := range splits {
 		var st sim.TaskStats
 		rr, err := in.Open(fs, conf, sp, hdfs.AnyNode, &st)

@@ -7,6 +7,7 @@ import (
 	"colmr/internal/mapred"
 	"colmr/internal/scan"
 	"colmr/internal/serde"
+	"colmr/internal/sim"
 )
 
 // predConf builds a job conf with projection, laziness, and predicate.
@@ -27,7 +28,7 @@ func wantMatches(t *testing.T, recs []*serde.GenericRecord, pred scan.Predicate)
 	t.Helper()
 	var out []*serde.GenericRecord
 	for _, rec := range recs {
-		ok, err := pred.Eval(func(col string) (any, error) { return rec.Get(col) })
+		ok, err := pred.Eval(scan.Getter(func(col string) (any, error) { return rec.Get(col) }))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -275,5 +276,143 @@ func TestPredicateViaJob(t *testing.T) {
 	}
 	if res == nil {
 		t.Fatal("nil result")
+	}
+}
+
+// TestDCSLDictionaryProbeAvoidsMaterialization checks the value tier's
+// dictionary-aware key tests: an exists() predicate over a DCSL column is
+// decided from the window dictionary and per-record id lists, so the map
+// values never materialize. The same scan over a skip-list layout (no
+// prober) must return identical rows while building every filter map.
+func TestDCSLDictionaryProbeAvoidsMaterialization(t *testing.T) {
+	pred := scan.KeyExists("metadata", "server") // present in every record
+	run := func(layout colfile.Layout) (int, int64) {
+		fs := testFS(t, 8)
+		loadDataset(t, fs, "/data/crawl", LoadOptions{
+			SplitRecords: 64,
+			Default:      colfile.Options{Layout: colfile.SkipList, StatsEvery: 16},
+			PerColumn:    map[string]colfile.Options{"metadata": {Layout: layout, StatsEvery: 16}},
+		}, 200)
+		rows, st := scanAll(t, fs, "/data/crawl", predConf([]string{"fetchTime"}, false, pred))
+		return len(rows), st.CPU.ValuesMaterialized
+	}
+	dcslRows, dcslValues := run(colfile.DCSL)
+	slRows, slValues := run(colfile.SkipList)
+	if dcslRows != 200 || slRows != 200 {
+		t.Fatalf("rows = %d (dcsl) / %d (skiplist), want 200", dcslRows, slRows)
+	}
+	// The skip-list reader materializes each record's metadata map (four
+	// values: three entries plus the map) to answer exists(); the DCSL
+	// prober answers from ids alone, leaving only the projected column.
+	if dcslValues*2 >= slValues {
+		t.Errorf("DCSL probe materialized %d values vs %d without probing — no savings", dcslValues, slValues)
+	}
+}
+
+// TestElisionInJobStats runs a real MapReduce job over a multi-split
+// dataset with a selective predicate on a clustered column and checks the
+// engine surfaces the scheduler tier: fewer map tasks than
+// split-directories, SplitsPruned in the job's aggregate stats, and output
+// identical to a run with elision disabled.
+func TestElisionInJobStats(t *testing.T) {
+	fs := testFS(t, 8)
+	loadDataset(t, fs, "/data/crawl", LoadOptions{SplitRecords: 50}, 400) // 8 split-directories
+	pred := scan.Gt("fetchTime", int64(1293840000000+379))                // last 20 records
+
+	run := func(elide bool) *mapred.Result {
+		conf := predConf([]string{"url"}, false, pred)
+		conf.InputPaths = []string{"/data/crawl"}
+		scan.SetElision(conf, elide)
+		res, err := mapred.Run(fs, &mapred.Job{
+			Conf:  *conf,
+			Input: &InputFormat{},
+			Mapper: mapred.MapperFunc(func(_, value any, emit mapred.Emit) error {
+				url, err := value.(serde.Record).Get("url")
+				if err != nil {
+					return err
+				}
+				return emit(url, int64(1))
+			}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	on := run(true)
+	off := run(false)
+	if on.Plan.SplitsTotal != 8 || on.Plan.SplitsPruned == 0 {
+		t.Fatalf("plan = %+v, want some of 8 split-directories pruned", on.Plan)
+	}
+	if got, want := len(on.MapTasks), 8-on.Plan.SplitsPruned; got != want {
+		t.Errorf("%d map tasks ran, want %d", got, want)
+	}
+	if on.Total.SplitsPruned == 0 {
+		t.Error("SplitsPruned missing from job stats")
+	}
+	if off.Plan.SplitsPruned != 0 || len(off.MapTasks) != 8 {
+		t.Fatalf("elision disabled: plan %+v over %d tasks, want 8 unpruned", off.Plan, len(off.MapTasks))
+	}
+	if on.OutputRecords != off.OutputRecords || on.OutputRecords != 20 {
+		t.Errorf("output = %d (elide) vs %d (baseline), want 20", on.OutputRecords, off.OutputRecords)
+	}
+	// The engine folds elided records into the job total, so the tier-sum
+	// invariant holds in both modes.
+	for name, res := range map[string]*mapred.Result{"elide": on, "baseline": off} {
+		sum := res.Total.RecordsPruned + res.Total.RecordsFiltered + res.Total.RecordsProcessed
+		if sum != 400 {
+			t.Errorf("%s: pruned %d + filtered %d + processed %d = %d, want 400",
+				name, res.Total.RecordsPruned, res.Total.RecordsFiltered, res.Total.RecordsProcessed, sum)
+		}
+	}
+}
+
+// TestReaderFileTierPrunesHandBuiltSplit exercises the reader-side file
+// pruning tier, which planner-judged splits skip (the scheduler already
+// held the same proof): a hand-built multi-directory split must cross
+// irrelevant directories from footer aggregates alone, counting
+// FilesPruned, without parsing a header or charging a data byte.
+func TestReaderFileTierPrunesHandBuiltSplit(t *testing.T) {
+	fs := testFS(t, 8)
+	loadDataset(t, fs, "/data/crawl", LoadOptions{SplitRecords: 100}, 400)
+	dirs, err := listSplitDirs(fs, "/data/crawl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 4 {
+		t.Fatalf("got %d split-directories, want 4", len(dirs))
+	}
+	pred := scan.Gt("fetchTime", int64(1293840000000+389)) // last 10 records
+	conf := predConf([]string{"url"}, false, pred)
+	conf.InputPaths = []string{"/data/crawl"}
+
+	var st sim.TaskStats
+	rr, err := (&InputFormat{}).Open(fs, conf, &Split{Dirs: dirs}, 0, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Close()
+	rows := 0
+	for {
+		_, _, ok, err := rr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows++
+	}
+	if rows != 10 {
+		t.Fatalf("got %d rows, want 10", rows)
+	}
+	// Three of four directories lie wholly below the cut: each is pruned
+	// at the file tier (two open files per directory: url + fetchTime).
+	if st.FilesPruned != 6 {
+		t.Errorf("FilesPruned = %d, want 6", st.FilesPruned)
+	}
+	if st.RecordsPruned+st.RecordsFiltered+int64(rows) != 400 {
+		t.Errorf("pruned %d + filtered %d + returned %d != 400", st.RecordsPruned, st.RecordsFiltered, rows)
 	}
 }

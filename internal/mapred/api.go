@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"colmr/internal/hdfs"
+	"colmr/internal/scan"
 	"colmr/internal/sim"
 )
 
@@ -44,6 +45,18 @@ type InputFormat interface {
 	// node and charging work to stats. Formats read their configuration
 	// (e.g. column projections) from conf.
 	Open(fs *hdfs.FileSystem, conf *JobConf, split Split, node hdfs.NodeID, stats *sim.TaskStats) (RecordReader, error)
+}
+
+// PlannedInputFormat is implemented by input formats whose split generation
+// is itself a planning step — CIF's scheduler-tier split elision drops
+// whole split-directories from column-file footer statistics before any map
+// task exists. The engine prefers PlannedSplits when available and records
+// the report in Result.Plan; Splits remains the capability-free path.
+type PlannedInputFormat interface {
+	InputFormat
+	// PlannedSplits lists the splits for the job's input along with a
+	// report of the pruning decisions made while generating them.
+	PlannedSplits(fs *hdfs.FileSystem, conf *JobConf) ([]Split, scan.PruneReport, error)
 }
 
 // RecordWriter persists job output pairs.

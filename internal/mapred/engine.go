@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"colmr/internal/hdfs"
+	"colmr/internal/scan"
 	"colmr/internal/sim"
 )
 
@@ -31,6 +32,10 @@ type Result struct {
 	ReduceGroups int64
 	// OutputRecords is the number of pairs written by the job.
 	OutputRecords int64
+	// Plan summarizes split generation when the input format plans
+	// (PlannedInputFormat): how many split-directories existed and how
+	// many were elided before scheduling. Zero-valued otherwise.
+	Plan scan.PruneReport
 }
 
 type shufflePair struct {
@@ -50,7 +55,14 @@ func Run(fs *hdfs.FileSystem, job *Job) (*Result, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
-	splits, err := job.Input.Splits(fs, &job.Conf)
+	var splits []Split
+	var plan scan.PruneReport
+	var err error
+	if pf, ok := job.Input.(PlannedInputFormat); ok {
+		splits, plan, err = pf.PlannedSplits(fs, &job.Conf)
+	} else {
+		splits, err = job.Input.Splits(fs, &job.Conf)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -98,11 +110,17 @@ func Run(fs *hdfs.FileSystem, job *Job) (*Result, error) {
 		return nil, firstErr
 	}
 
-	res := &Result{}
+	res := &Result{Plan: plan}
 	for i, out := range outputs {
 		res.MapTasks = append(res.MapTasks, TaskReport{Split: splits[i].String(), Node: nodes[i], Stats: out.stats})
 		res.Total.Add(out.stats)
 	}
+	// Elided splits ran no task, so the scheduler's pruning is credited to
+	// the job's aggregate counters directly; RecordsPruned then means
+	// "records proven irrelevant at any tier" regardless of where the
+	// proof fired.
+	res.Total.SplitsPruned += int64(plan.SplitsPruned)
+	res.Total.RecordsPruned += plan.RecordsPruned
 
 	if err := reducePhase(fs, job, outputs, numParts, res); err != nil {
 		return nil, err

@@ -1,15 +1,27 @@
 package scan
 
-import (
-	"fmt"
+import "fmt"
 
-	"colmr/internal/mapred"
-)
+// Conf is the slice of mapred.JobConf this package needs: free-form string
+// properties. Depending on the interface rather than the struct keeps scan
+// import-free below mapred, which lets the engine consume scan's planning
+// vocabulary (PruneReport) without a cycle.
+type Conf interface {
+	Get(key string) string
+	Set(key, value string)
+}
 
 // PredicateProp is the job property carrying the serialized predicate,
 // interpreted by CIF (internal/core) the way ColumnsProp carries the
 // projection.
 const PredicateProp = "scan.predicate"
+
+// ElideProp is the job property controlling scheduler-tier split elision
+// ("false" disables it; anything else, including unset, enables it).
+// Elision only changes which split-directories are scheduled, never which
+// records qualify, so it defaults on; the switch exists so output
+// equivalence is testable and regressions bisectable.
+const ElideProp = "scan.elide"
 
 // SetPredicate pushes a selection predicate into CIF for a job — the
 // selection analogue of core.SetColumns:
@@ -21,8 +33,9 @@ const PredicateProp = "scan.predicate"
 //
 // The record reader evaluates the predicate on the filter columns first,
 // skips the remaining cursors past non-qualifying records, and uses
-// zone-map statistics to jump whole record groups.
-func SetPredicate(conf *mapred.JobConf, p Predicate) {
+// zone-map statistics to jump whole record groups; split generation uses
+// whole-file statistics to drop split-directories before tasks exist.
+func SetPredicate(conf Conf, p Predicate) {
 	if p == nil {
 		conf.Set(PredicateProp, "")
 		return
@@ -31,7 +44,7 @@ func SetPredicate(conf *mapred.JobConf, p Predicate) {
 }
 
 // FromConf reads the job's predicate, or nil when none is set.
-func FromConf(conf *mapred.JobConf) (Predicate, error) {
+func FromConf(conf Conf) (Predicate, error) {
 	expr := conf.Get(PredicateProp)
 	if expr == "" {
 		return nil, nil
@@ -41,4 +54,18 @@ func FromConf(conf *mapred.JobConf) (Predicate, error) {
 		return nil, fmt.Errorf("scan: invalid %s: %w", PredicateProp, err)
 	}
 	return p, nil
+}
+
+// SetElision enables or disables scheduler-tier split elision for a job.
+func SetElision(conf Conf, on bool) {
+	if on {
+		conf.Set(ElideProp, "")
+	} else {
+		conf.Set(ElideProp, "false")
+	}
+}
+
+// ElisionFromConf reports whether split elision is enabled (the default).
+func ElisionFromConf(conf Conf) bool {
+	return conf.Get(ElideProp) != "false"
 }

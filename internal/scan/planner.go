@@ -1,0 +1,151 @@
+package scan
+
+import "fmt"
+
+// Hierarchical scan planning. A selective scan is pruned at four tiers,
+// each owned by the layer with the cheapest view of the data:
+//
+//	scheduler  whole split-directories are dropped before map tasks exist,
+//	           from whole-file aggregate statistics read out of column-file
+//	           footers (core.InputFormat.PlannedSplits);
+//	file       an opened reader skips a whole split-directory without
+//	           building any group index, from the same aggregates;
+//	group      zone-map pruning jumps record groups inside a file;
+//	value      exact per-record evaluation over filter columns.
+//
+// Planner is the shared implementation of the conservative tiers: every
+// consumer (CIF eager and lazy readers, the split scheduler, future
+// formats) asks the same Planner, so a pruning proof is identical wherever
+// it fires. PruneReport is the scheduler tier's per-job summary.
+
+// Planner drives conservative pruning for one predicate. A nil Planner (or
+// a Planner over a nil predicate) never prunes, so callers need no guards.
+type Planner struct {
+	pred Predicate
+	cols []string
+}
+
+// NewPlanner returns a planner for p. p may be nil.
+func NewPlanner(p Predicate) *Planner {
+	pl := &Planner{pred: p}
+	if p != nil {
+		pl.cols = p.Columns(nil)
+	}
+	return pl
+}
+
+// Predicate returns the planned predicate (nil when none).
+func (p *Planner) Predicate() Predicate {
+	if p == nil {
+		return nil
+	}
+	return p.pred
+}
+
+// FilterColumns returns the distinct columns the predicate reads, in
+// first-appearance order. Callers must not mutate the returned slice.
+func (p *Planner) FilterColumns() []string {
+	if p == nil {
+		return nil
+	}
+	return p.cols
+}
+
+// PruneFile decides the scheduler and file tiers: given whole-file (or
+// whole-split) aggregate statistics per column, NoMatch proves the file
+// holds no qualifying record. Columns without aggregates resolve to nil,
+// which pruning treats as MayMatch.
+func (p *Planner) PruneFile(stats StatsFunc) Tri {
+	if p == nil || p.pred == nil {
+		return MayMatch
+	}
+	return p.pred.Prune(stats)
+}
+
+// PruneFileRows is PruneFile plus the accounting protocol both file-tier
+// consumers share: on a NoMatch proof it reports how many records the
+// proof covers, taken from the statistics the predicate consulted — or,
+// when the proof consulted none (a constant-false predicate), from
+// recordCount. Keeping the fallback here keeps the scheduler and reader
+// tiers' record accounting identical by construction.
+func (p *Planner) PruneFileRows(stats StatsFunc, recordCount func() int64) (pruned bool, rows int64) {
+	if p == nil || p.pred == nil {
+		return false, 0
+	}
+	wrapped := func(col string) *ColStats {
+		st := stats(col)
+		if st != nil {
+			rows = st.Rows
+		}
+		return st
+	}
+	if p.pred.Prune(wrapped) != NoMatch {
+		return false, 0
+	}
+	if rows == 0 && recordCount != nil {
+		rows = recordCount()
+	}
+	return true, rows
+}
+
+// GroupStatsFunc resolves a column name and a record index to the zone-map
+// statistics of the record group containing that record, plus the index one
+// past the group's last record. It returns (nil, 0) when no statistics
+// cover the record.
+type GroupStatsFunc func(column string, rec int64) (*ColStats, int64)
+
+// PruneGroup decides the group tier for the record at rec. Columns may use
+// different layouts with different group geometries, so the verdict is
+// scoped to the narrowest group consulted: the returned end is the smallest
+// extent bound, and [rec, end) lies inside every consulted group. On
+// NoMatch the caller may skip to end; on MayMatch it need not re-consult
+// zone maps before end.
+func (p *Planner) PruneGroup(rec, total int64, group GroupStatsFunc) (Tri, int64) {
+	if p == nil || p.pred == nil {
+		return MayMatch, total
+	}
+	minEnd := total
+	fn := func(col string) *ColStats {
+		st, end := group(col, rec)
+		if st == nil {
+			return nil
+		}
+		if end < minEnd {
+			minEnd = end
+		}
+		return st
+	}
+	if p.pred.Prune(fn) == NoMatch && minEnd > rec {
+		return NoMatch, minEnd
+	}
+	return MayMatch, minEnd
+}
+
+// PruneReport summarizes the scheduler tier's decisions for one job: how
+// many split-directories existed, how many were dropped before any map
+// task was created, and how many column-file footers were consulted to
+// prove it. mapred.Result carries the job's report.
+type PruneReport struct {
+	// SplitsTotal is the number of split-directories the input datasets
+	// hold; SplitsPruned of them were dropped by footer statistics alone.
+	SplitsTotal  int
+	SplitsPruned int
+	// FilesChecked is the number of column files whose aggregate
+	// statistics were read (footer and stats section only — never data).
+	FilesChecked int
+	// RecordsPruned is the number of records inside the elided
+	// split-directories. Folding it into the job's RecordsPruned counter
+	// keeps the invariant "records pruned at any tier + records filtered
+	// + records returned == dataset size" independent of which tier a
+	// proof fired at.
+	RecordsPruned int64
+	// Columns are the predicate's filter columns, whose files were
+	// consulted.
+	Columns []string
+}
+
+// String renders a one-line summary.
+func (r PruneReport) String() string {
+	return fmt.Sprintf("scheduled %d of %d split-directories (%d pruned by file statistics, %d footers read)",
+		r.SplitsTotal-r.SplitsPruned, r.SplitsTotal, r.SplitsPruned, r.FilesChecked)
+}

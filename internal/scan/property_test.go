@@ -198,7 +198,7 @@ func TestPushdownEquivalenceProperty(t *testing.T) {
 		// Brute-force reference: evaluate over the in-memory records.
 		var want []*serde.GenericRecord
 		for _, rec := range recs {
-			ok, err := pred.Eval(func(col string) (any, error) { return rec.Get(col) })
+			ok, err := pred.Eval(scan.Getter(func(col string) (any, error) { return rec.Get(col) }))
 			if err != nil {
 				t.Fatalf("round %d: pred %s: %v", round, pred, err)
 			}

@@ -83,9 +83,103 @@ func (s *ColStats) HasKey(key string) bool {
 	return i < len(s.Keys) && s.Keys[i] == key
 }
 
-// Getter resolves a column name to the current record's value. A nil value
-// with a nil error represents SQL NULL.
+// Merge widens s to also cover the records o describes, keeping every
+// conservative property pruning relies on: the merged Min/Max bound the
+// union, the merged key universe is complete only if both inputs' were, and
+// Distinct degrades to a capped lower bound (distinct sets may overlap, so
+// neither sum nor max is exact). Merging per-group entries yields the
+// whole-file aggregate the scheduler tier prunes splits with.
+func (s *ColStats) Merge(o *ColStats) {
+	sVals := s.Nulls < s.Rows // s covers at least one non-null value
+	oVals := o.Nulls < o.Rows
+	s.Rows += o.Rows
+	s.Nulls += o.Nulls
+	if o.Distinct > s.Distinct {
+		s.Distinct = o.Distinct
+	}
+	if sVals && oVals {
+		// Overlap between the two distinct sets is unknown.
+		s.DistinctCapped = true
+	} else {
+		s.DistinctCapped = s.DistinctCapped || o.DistinctCapped
+	}
+	switch {
+	case !oVals:
+		// o contributes no values: bounds and key universe are unchanged.
+	case !sVals:
+		// s contributed no values: adopt o's wholesale.
+		s.HasMinMax, s.Min, s.Max = o.HasMinMax, o.Min, o.Max
+		s.HasKeys, s.KeysCapped = o.HasKeys, o.KeysCapped
+		s.Keys = append([]string(nil), o.Keys...)
+	default:
+		if s.HasMinMax && o.HasMinMax {
+			if c, ok := CompareValues(o.Min, s.Min); ok && c < 0 {
+				s.Min = o.Min
+			}
+			if c, ok := CompareValues(o.Max, s.Max); ok && c > 0 {
+				s.Max = o.Max
+			}
+		} else {
+			s.HasMinMax, s.Min, s.Max = false, nil, nil
+		}
+		if s.HasKeys && o.HasKeys {
+			s.Keys = mergeSortedKeys(s.Keys, o.Keys)
+			s.KeysCapped = s.KeysCapped || o.KeysCapped
+		} else if s.HasKeys || o.HasKeys {
+			// One side has values but tracked no universe: the union is
+			// incomplete, so it can no longer disprove key existence.
+			s.Keys = mergeSortedKeys(s.Keys, o.Keys)
+			s.HasKeys = true
+			s.KeysCapped = true
+		}
+	}
+}
+
+// mergeSortedKeys unions two sorted string slices into a fresh slice.
+func mergeSortedKeys(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// Evaluator resolves the current record's values for exact predicate
+// evaluation. Beyond plain value access it can answer capability queries a
+// storage layer serves cheaper than materialization — today, map-key
+// existence from a DCSL window dictionary.
+type Evaluator interface {
+	// Value resolves a column name to the current record's value. A nil
+	// value with a nil error represents SQL NULL.
+	Value(column string) (any, error)
+	// HasKey decides whether the map column contains key without
+	// materializing the map value. answered reports whether the store
+	// could decide; when false the caller falls back to Value.
+	HasKey(column, key string) (has, answered bool, err error)
+}
+
+// Getter adapts a plain column-value function to Evaluator (with no cheap
+// capabilities). A nil value with a nil error represents SQL NULL.
 type Getter func(column string) (any, error)
+
+// Value implements Evaluator.
+func (g Getter) Value(column string) (any, error) { return g(column) }
+
+// HasKey implements Evaluator: a bare Getter never answers, so key tests
+// fall back to materializing the map.
+func (Getter) HasKey(column, key string) (bool, bool, error) { return false, false, nil }
 
 // StatsFunc resolves a column name to the zone-map statistics of the record
 // group under consideration. Returning nil means "no statistics available",
@@ -99,7 +193,7 @@ type Predicate interface {
 	// Eval decides the predicate exactly for one record. Comparisons,
 	// prefix, and key tests against a null value are false (no
 	// three-valued logic: Not(x) is the strict complement of x).
-	Eval(get Getter) (bool, error)
+	Eval(ev Evaluator) (bool, error)
 	// Prune decides conservatively whether a record group can contain a
 	// match, given per-column zone maps. NoMatch is a proof; MayMatch is
 	// not a promise.
@@ -367,8 +461,8 @@ type cmpPred struct {
 	lit any
 }
 
-func (p *cmpPred) Eval(get Getter) (bool, error) {
-	v, err := get(p.col)
+func (p *cmpPred) Eval(ev Evaluator) (bool, error) {
+	v, err := ev.Value(p.col)
 	if err != nil {
 		return false, err
 	}
@@ -483,8 +577,8 @@ type rangePred struct {
 	lo, hi any
 }
 
-func (p *rangePred) Eval(get Getter) (bool, error) {
-	v, err := get(p.col)
+func (p *rangePred) Eval(ev Evaluator) (bool, error) {
+	v, err := ev.Value(p.col)
 	if err != nil {
 		return false, err
 	}
@@ -544,8 +638,8 @@ type prefixPred struct {
 	prefix string
 }
 
-func (p *prefixPred) Eval(get Getter) (bool, error) {
-	v, err := get(p.col)
+func (p *prefixPred) Eval(ev Evaluator) (bool, error) {
+	v, err := ev.Value(p.col)
 	if err != nil {
 		return false, err
 	}
@@ -620,8 +714,8 @@ type nullPred struct {
 	negate bool
 }
 
-func (p *nullPred) Eval(get Getter) (bool, error) {
-	v, err := get(p.col)
+func (p *nullPred) Eval(ev Evaluator) (bool, error) {
+	v, err := ev.Value(p.col)
 	if err != nil {
 		return false, err
 	}
@@ -668,8 +762,16 @@ type keyPred struct {
 	key string
 }
 
-func (p *keyPred) Eval(get Getter) (bool, error) {
-	v, err := get(p.col)
+func (p *keyPred) Eval(ev Evaluator) (bool, error) {
+	// A store that can probe key existence directly (the DCSL window
+	// dictionary: one lookup decides a whole window's key universe, and an
+	// id walk decides one record) answers without building the map.
+	if has, answered, err := ev.HasKey(p.col, p.key); err != nil {
+		return false, err
+	} else if answered {
+		return has, nil
+	}
+	v, err := ev.Value(p.col)
 	if err != nil {
 		return false, err
 	}
@@ -717,9 +819,9 @@ type andPred struct {
 	kids []Predicate
 }
 
-func (p *andPred) Eval(get Getter) (bool, error) {
+func (p *andPred) Eval(ev Evaluator) (bool, error) {
 	for _, k := range p.kids {
-		ok, err := k.Eval(get)
+		ok, err := k.Eval(ev)
 		if err != nil || !ok {
 			return false, err
 		}
@@ -759,9 +861,9 @@ type orPred struct {
 	kids []Predicate
 }
 
-func (p *orPred) Eval(get Getter) (bool, error) {
+func (p *orPred) Eval(ev Evaluator) (bool, error) {
 	for _, k := range p.kids {
-		ok, err := k.Eval(get)
+		ok, err := k.Eval(ev)
 		if err != nil || ok {
 			return ok, err
 		}
@@ -803,8 +905,8 @@ type notPred struct {
 	kid Predicate
 }
 
-func (p *notPred) Eval(get Getter) (bool, error) {
-	ok, err := p.kid.Eval(get)
+func (p *notPred) Eval(ev Evaluator) (bool, error) {
+	ok, err := p.kid.Eval(ev)
 	return !ok, err
 }
 

@@ -319,3 +319,65 @@ func TestCrossTypeNumericCompare(t *testing.T) {
 		}
 	}
 }
+
+func TestColStatsMerge(t *testing.T) {
+	// Two value-bearing groups: bounds widen, keys union, distinct becomes
+	// a capped lower bound.
+	a := ColStats{Rows: 10, Distinct: 4, HasMinMax: true, Min: int64(5), Max: int64(20),
+		HasKeys: true, Keys: []string{"a", "c"}}
+	b := ColStats{Rows: 6, Nulls: 1, Distinct: 6, HasMinMax: true, Min: int64(-3), Max: int64(7),
+		HasKeys: true, Keys: []string{"b", "c"}}
+	m := a // copy
+	m.Merge(&b)
+	if m.Rows != 16 || m.Nulls != 1 {
+		t.Errorf("rows/nulls = %d/%d, want 16/1", m.Rows, m.Nulls)
+	}
+	if !m.HasMinMax || m.Min != int64(-3) || m.Max != int64(20) {
+		t.Errorf("bounds = %v/%v, want -3/20", m.Min, m.Max)
+	}
+	if m.Distinct != 6 || !m.DistinctCapped {
+		t.Errorf("distinct = %d capped=%v, want 6 capped", m.Distinct, m.DistinctCapped)
+	}
+	if !m.HasKeys || m.KeysCapped {
+		t.Fatalf("keys = %+v, want complete union", m)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if !m.HasKey(k) {
+			t.Errorf("merged universe misses %q", k)
+		}
+	}
+	if m.HasKey("d") {
+		t.Error("merged universe invents a key")
+	}
+
+	// Merging into the zero value adopts the group wholesale (the
+	// file-aggregate bootstrap case).
+	var z ColStats
+	z.Merge(&a)
+	if z.Rows != 10 || !z.HasMinMax || z.Min != int64(5) || !z.HasKeys || z.HasKey("b") {
+		t.Errorf("zero-merge = %+v, want a copy of the group", z)
+	}
+
+	// An all-null group contributes rows but neither bounds nor keys.
+	nulls := ColStats{Rows: 5, Nulls: 5}
+	m2 := a
+	m2.Merge(&nulls)
+	if m2.Rows != 15 || m2.Nulls != 5 || !m2.HasMinMax || m2.Min != int64(5) || !m2.HasKeys {
+		t.Errorf("null-merge = %+v, want unchanged bounds over 15 rows", m2)
+	}
+
+	// A value-bearing group without bounds (complex type) poisons bounds.
+	complexG := ColStats{Rows: 3, DistinctCapped: true}
+	m3 := a
+	m3.Merge(&complexG)
+	if m3.HasMinMax {
+		t.Error("bounds survived a boundless value-bearing group")
+	}
+	// ... and a capped key universe propagates the cap.
+	capped := ColStats{Rows: 3, HasKeys: true, Keys: []string{"z"}, KeysCapped: true}
+	m4 := a
+	m4.Merge(&capped)
+	if !m4.HasKeys || !m4.KeysCapped || !m4.HasKey("z") {
+		t.Errorf("capped-merge = %+v, want capped union containing z", m4)
+	}
+}

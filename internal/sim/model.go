@@ -146,6 +146,14 @@ func (m CostModel) IOSeconds(io IOStats, diskBW, netBW float64) float64 {
 // interleave charge is consistent with real refill behaviour.
 const ReadaheadBytes = 1 << 20
 
+// SelectiveReadaheadBytes is the refill chunk CIF readers shrink to when a
+// selection predicate is attached. Selective scans jump with skip lists
+// instead of streaming, so a full readahead window mostly prefetches bytes
+// the jump then discards; a smaller chunk lets jumps past it eliminate the
+// I/O. The interleave charge normalizes per ReadaheadBytes window, so the
+// extra arm movements of the finer refills are priced consistently.
+const SelectiveReadaheadBytes = 32 << 10
+
 // MapTaskSeconds prices one map task: per-slot disk/network share, I/O not
 // overlapped with CPU (matching Hadoop 0.21's record-at-a-time readers),
 // plus emit cost for map output.

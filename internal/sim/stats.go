@@ -159,6 +159,16 @@ type TaskStats struct {
 	// rejected after evaluating filter-column values (the zone maps could
 	// not rule their group out).
 	RecordsFiltered int64
+	// SplitsPruned is the number of split-directories the scheduler tier
+	// dropped from whole-file footer statistics before any map task was
+	// created (recorded in the job's aggregate stats; elided splits have
+	// no task of their own).
+	SplitsPruned int64
+	// FilesPruned is the number of column files an opened reader skipped
+	// wholesale at the file tier: its whole-file aggregate proved the
+	// split-directory irrelevant, so no group index was built and no data
+	// byte was read.
+	FilesPruned int64
 }
 
 // Add accumulates o into s.
@@ -171,6 +181,8 @@ func (s *TaskStats) Add(o TaskStats) {
 	s.GroupsPruned += o.GroupsPruned
 	s.RecordsPruned += o.RecordsPruned
 	s.RecordsFiltered += o.RecordsFiltered
+	s.SplitsPruned += o.SplitsPruned
+	s.FilesPruned += o.FilesPruned
 }
 
 // Scale multiplies every counter by k.
@@ -183,6 +195,8 @@ func (s *TaskStats) Scale(k float64) {
 	s.GroupsPruned = scaleInt(s.GroupsPruned, k)
 	s.RecordsPruned = scaleInt(s.RecordsPruned, k)
 	s.RecordsFiltered = scaleInt(s.RecordsFiltered, k)
+	s.SplitsPruned = scaleInt(s.SplitsPruned, k)
+	s.FilesPruned = scaleInt(s.FilesPruned, k)
 }
 
 func scaleInt(v int64, k float64) int64 {
