@@ -47,6 +47,8 @@ var experiments = []struct {
 		func(c bench.Config) error { _, err := bench.Selectivity(c); return err }},
 	{"elision", "split elision sweep: scheduler-tier pruning vs group-tier-only baseline",
 		func(c bench.Config) error { _, err := bench.Elision(c); return err }},
+	{"sharedscan", "shared scan sweep: co-scheduled batches vs independent runs (1/2/4/8 jobs)",
+		func(c bench.Config) error { _, err := bench.SharedScan(c); return err }},
 	{"skiplevels", "ablation: skip-list level configuration",
 		func(c bench.Config) error { _, err := bench.AblationSkipLevels(c); return err }},
 	{"parallelism", "ablation: split granularity vs cluster parallelism (§4.3)",

@@ -8,10 +8,15 @@
 // RCFile scan every record and filter afterwards — the comparison the
 // selectivity benchmark systematizes.
 //
+// Repeating -where runs every clause as one shared CIF batch — one job per
+// clause, co-scheduled behind one cursor set per split-directory
+// (mapred.RunBatch) — and prints per-job and shared-read statistics next to
+// the cost of running each job solo.
+//
 // Usage:
 //
 //	colscan [-workload synthetic|crawl] [-records N] [-columns url,metadata]
-//	        [-where 'prefix(url, "http://ibm.com")'] [-lazy] [-seed N]
+//	        [-where 'prefix(url, "http://ibm.com")' [-where ...]] [-lazy] [-seed N]
 package main
 
 import (
@@ -37,25 +42,44 @@ type generator interface {
 	Record(i int64) *serde.GenericRecord
 }
 
+// multiFlag accumulates repeated flag occurrences.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, "; ") }
+
+func (m *multiFlag) Set(v string) error {
+	// An empty clause means "no predicate", as the single -where flag
+	// always treated it (scripts pass -where "$WHERE" with WHERE unset).
+	if v != "" {
+		*m = append(*m, v)
+	}
+	return nil
+}
+
 func main() {
+	var wheres multiFlag
 	var (
 		kind    = flag.String("workload", "synthetic", "dataset (synthetic, crawl)")
 		records = flag.Int64("records", 20000, "number of records")
 		columns = flag.String("columns", "", "comma-separated projection (empty = all columns)")
-		where   = flag.String("where", "", `selection predicate, e.g. 'int0 <= 100 && prefix(str0, "ab")'`)
 		lazy    = flag.Bool("lazy", false, "use lazy record construction for CIF")
 		elide   = flag.Bool("elide", true, "let CIF drop split-directories from footer statistics before scheduling")
 		seed    = flag.Int64("seed", 2011, "generator seed")
 	)
+	flag.Var(&wheres, "where", `selection predicate, e.g. 'int0 <= 100 && prefix(str0, "ab")'; repeat to run a shared batch`)
 	flag.Parse()
 
-	var pred scan.Predicate
-	if *where != "" {
+	preds := make([]scan.Predicate, len(wheres))
+	for i, w := range wheres {
 		var err error
-		if pred, err = scan.Parse(*where); err != nil {
+		if preds[i], err = scan.Parse(w); err != nil {
 			fmt.Fprintf(os.Stderr, "colscan: %v\n", err)
 			os.Exit(2)
 		}
+	}
+	var pred scan.Predicate
+	if len(preds) > 0 {
+		pred = preds[0]
 	}
 
 	var gen generator
@@ -200,7 +224,13 @@ func main() {
 	scan.SetElision(cconf, *elide)
 	runScan("CIF", &core.InputFormat{}, cconf, true)
 
-	fmt.Printf("scan of %d %s records, projection=%v, where=%q, lazy=%v\n\n", *records, *kind, proj, *where, *lazy)
+	// The per-format table compares one predicate; additional clauses run
+	// only in the shared batch section below.
+	whereLabel := wheres.String()
+	if len(preds) > 1 {
+		whereLabel = fmt.Sprintf("%s (+%d more in the shared batch below)", wheres[0], len(preds)-1)
+	}
+	fmt.Printf("scan of %d %s records, projection=%v, where=%q, lazy=%v\n\n", *records, *kind, proj, whereLabel, *lazy)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "format\tmatched\tlogical MB\tcharged MB\tseeks\tmap KB\tvalues\tpruned\tmodeled scan")
 	for _, r := range results {
@@ -216,6 +246,77 @@ func main() {
 			model.ScanSeconds(r.st))
 	}
 	tw.Flush()
+
+	// With several -where clauses, run them as one shared CIF batch and
+	// compare against each clause scanning solo.
+	if len(preds) > 1 {
+		batchScan(fs, model, "/s/cif", proj, preds, *lazy, *elide)
+	}
+}
+
+// batchScan runs one map-only CIF job per predicate, solo and co-scheduled,
+// printing per-job logical accounting and the batch's shared-read savings.
+func batchScan(fs *hdfs.FileSystem, model sim.CostModel, dataset string, proj []string, preds []scan.Predicate, lazy, elide bool) {
+	job := func(p scan.Predicate) *mapred.Job {
+		conf := mapred.JobConf{InputPaths: []string{dataset}}
+		if proj != nil {
+			core.SetColumns(&conf, proj...)
+		}
+		core.SetLazy(&conf, lazy)
+		scan.SetPredicate(&conf, p)
+		scan.SetElision(&conf, elide)
+		return &mapred.Job{
+			Conf:   conf,
+			Input:  &core.InputFormat{},
+			Mapper: mapred.MapperFunc(func(_, _ any, _ mapred.Emit) error { return nil }),
+		}
+	}
+
+	var soloCharged int64
+	var soloSeconds float64
+	soloMatches := make([]int64, len(preds))
+	for i, p := range preds {
+		res, err := mapred.Run(fs, job(p))
+		check(err)
+		soloCharged += res.Total.IO.TotalChargedBytes()
+		soloSeconds += model.ScanSeconds(res.Total)
+		soloMatches[i] = res.Total.RecordsProcessed
+	}
+
+	jobs := make([]*mapred.Job, len(preds))
+	for i, p := range preds {
+		jobs[i] = job(p)
+	}
+	br, err := mapred.RunBatch(fs, jobs...)
+	check(err)
+
+	fmt.Printf("\nshared CIF batch: %d jobs, %d co-scheduled tasks (%d shared)\n\n", len(preds), br.Tasks, br.SharedTasks)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "job\twhere\tmatched\tpruned\tfiltered\tsplits scheduled")
+	for i, res := range br.Results {
+		if res.Total.RecordsProcessed != soloMatches[i] {
+			fmt.Fprintf(os.Stderr, "colscan: job %d matched %d batched but %d solo\n", i, res.Total.RecordsProcessed, soloMatches[i])
+			os.Exit(1)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d/%d\n",
+			i, preds[i], res.Total.RecordsProcessed, res.Total.RecordsPruned, res.Total.RecordsFiltered,
+			res.Plan.SplitsTotal-res.Plan.SplitsPruned, res.Plan.SplitsTotal)
+	}
+	tw.Flush()
+
+	batchStats := br.Shared
+	for _, res := range br.Results {
+		batchStats.Add(res.Total)
+	}
+	fmt.Printf("\nsolo:  charged %.2f MB, modeled %.3fs (sum of %d independent runs)\n",
+		float64(soloCharged)/(1<<20), soloSeconds, len(preds))
+	reduction := "nothing charged in either mode"
+	if charged := br.ChargedBytes(); charged > 0 {
+		reduction = fmt.Sprintf("%.1fx charged reduction", float64(soloCharged)/float64(charged))
+	}
+	fmt.Printf("batch: charged %.2f MB, modeled %.3fs — %d cursor opens avoided, %.2f MB saved (%s)\n",
+		float64(br.ChargedBytes())/(1<<20), model.ScanSeconds(batchStats),
+		br.Shared.SharedReads, float64(br.Shared.BytesSaved)/(1<<20), reduction)
 }
 
 func check(err error) {

@@ -142,6 +142,38 @@ type (
 // RunJob executes a MapReduce job and returns its work counters.
 func RunJob(fs *FileSystem, job *Job) (*JobResult, error) { return mapred.Run(fs, job) }
 
+// Shared scans — the batch engine. Co-submitted jobs over the same CIF
+// datasets are planned together: one map task runs per shared
+// split-directory group, a single cursor set reads the union of the jobs'
+// columns at the union predicate's selectivity, and per-job residual
+// predicates demultiplex the stream. Each job receives exactly the records
+// and per-job accounting of a solo run; physical I/O is charged once, to
+// BatchResult.Shared.
+type (
+	// Engine is the session-style batch front end: Submit queues jobs,
+	// Wait co-schedules everything queued as one batch.
+	Engine = mapred.Engine
+	// PendingJob is a submitted job's handle; resolved by Engine.Wait.
+	PendingJob = mapred.PendingJob
+	// BatchResult is a batch run's outcome: per-job results plus the
+	// once-charged shared-scan accounting.
+	BatchResult = mapred.BatchResult
+)
+
+// NewEngine returns a batch engine over the filesystem.
+func NewEngine(fs *FileSystem) *Engine { return mapred.NewEngine(fs) }
+
+// RunBatch executes the jobs as one batch, sharing scans where their
+// planned split sets intersect.
+func RunBatch(fs *FileSystem, jobs ...*Job) (*BatchResult, error) {
+	return mapred.RunBatch(fs, jobs...)
+}
+
+// AutoDirsPerSplit, assigned to ColumnInputFormat.DirsPerSplit, sizes map
+// tasks from estimated predicate selectivity: few surviving, sparsely
+// matching split-directories merge into fewer tasks.
+const AutoDirsPerSplit = core.AutoDirsPerSplit
+
 // CIF / COF — the paper's contribution.
 type (
 	// ColumnInputFormat (CIF) reads CIF datasets with projection pushdown
@@ -287,6 +319,9 @@ type (
 	// ElisionResult is the split-elision sweep: scheduler-tier pruning vs
 	// the group-tier-only baseline (internal/bench/elision.go).
 	ElisionResult = bench.ElisionResult
+	// SharedScanResult is the shared-scan sweep: co-scheduled batches vs
+	// independent runs (internal/bench/sharedscan.go).
+	SharedScanResult = bench.SharedScanResult
 )
 
 // DefaultExperimentConfig returns the standard experiment configuration;
@@ -315,6 +350,11 @@ func RunSelectivity(cfg ExperimentConfig) (*SelectivityResult, error) { return b
 // dataset and compares scheduler-tier split elision against the
 // group-tier-only baseline.
 func RunElision(cfg ExperimentConfig) (*ElisionResult, error) { return bench.Elision(cfg) }
+
+// RunSharedScan sweeps batch concurrency (1/2/4/8 jobs, overlapping vs
+// disjoint predicates) and compares co-scheduled shared scans against
+// independent runs.
+func RunSharedScan(cfg ExperimentConfig) (*SharedScanResult, error) { return bench.SharedScan(cfg) }
 
 // Ablation results for the design choices and for the paper's deferred
 // future work (re-replication after failures, split-granularity

@@ -109,11 +109,21 @@ func (s *Split) files(fs *hdfs.FileSystem, dir string) []string {
 	return out
 }
 
+// AutoDirsPerSplit, as InputFormat.DirsPerSplit, sizes splits from
+// estimated predicate selectivity instead of a fixed constant: the
+// scheduler tier already reads each surviving directory's whole-file
+// aggregates, so the expected qualifying rows are known before any task
+// exists, and highly selective scans merge many directories into one task
+// rather than scheduling a task per directory that each return a handful
+// of records.
+const AutoDirsPerSplit = -1
+
 // InputFormat is CIF, the ColumnInputFormat.
 type InputFormat struct {
 	// DirsPerSplit assigns this many split-directories to one map task
 	// (Section 4.2: "CIF can actually assign one or more split-directories
-	// to a single split"). Default 1.
+	// to a single split"). Default 1; AutoDirsPerSplit sizes tasks from
+	// estimated selectivity.
 	DirsPerSplit int
 }
 
@@ -140,14 +150,53 @@ func (f *InputFormat) PlannedSplits(fs *hdfs.FileSystem, conf *mapred.JobConf) (
 }
 
 func (f *InputFormat) plannedSplits(fs *hdfs.FileSystem, conf *mapred.JobConf, allowElide bool) ([]mapred.Split, scan.PruneReport, error) {
-	per := f.DirsPerSplit
-	if per < 1 {
-		per = 1
+	plan, err := f.planDirs(fs, conf, allowElide)
+	if err != nil {
+		return nil, plan.report, err
 	}
+	var out []mapred.Split
+	for _, ds := range plan.datasets {
+		per := f.splitSize(fs, plan.pred, ds.kept)
+		for i := 0; i < len(ds.kept); i += per {
+			j := i + per
+			if j > len(ds.kept) {
+				j = len(ds.kept)
+			}
+			out = append(out, &Split{Dirs: ds.kept[i:j], Columns: plan.columns, Judged: plan.elide})
+		}
+	}
+	return out, plan.report, nil
+}
+
+// dirPlan is one job's split-directory planning outcome: the directories
+// that survived the scheduler tier, per dataset, plus what split assembly
+// and shared-scan co-scheduling need from the planning pass.
+type dirPlan struct {
+	datasets []datasetDirs
+	columns  []string // locality columns: projection plus filter columns
+	pred     scan.Predicate
+	elide    bool
+	report   scan.PruneReport
+}
+
+// datasetDirs is one input dataset's directory listing: all
+// split-directories in numeric order, and the subset the scheduler kept.
+type datasetDirs struct {
+	path string
+	all  []string
+	kept []string
+}
+
+// planDirs runs split-directory listing and the scheduler pruning tier for
+// one job — everything plannedSplits does short of chunking directories
+// into splits. SharedSplits reuses it per member job, which is what makes
+// per-job elision accounting in a batch identical to a solo run.
+func (f *InputFormat) planDirs(fs *hdfs.FileSystem, conf *mapred.JobConf, allowElide bool) (dirPlan, error) {
+	var plan dirPlan
 	columns := projection(conf)
 	pred, err := scan.FromConf(conf)
 	if err != nil {
-		return nil, scan.PruneReport{}, err
+		return plan, err
 	}
 	planner := scan.NewPlanner(pred)
 	// Locality ranks by the files a map task will actually open: the
@@ -156,50 +205,118 @@ func (f *InputFormat) plannedSplits(fs *hdfs.FileSystem, conf *mapred.JobConf, a
 	if pred != nil && len(columns) > 0 {
 		columns = pred.Columns(columns)
 	}
-	report := scan.PruneReport{Columns: planner.FilterColumns()}
-	elide := allowElide && pred != nil && scan.ElisionFromConf(conf)
-	var out []mapred.Split
+	plan.pred = pred
+	plan.columns = columns
+	plan.report = scan.PruneReport{Columns: planner.FilterColumns()}
+	plan.elide = allowElide && pred != nil && scan.ElisionFromConf(conf)
 	for _, dataset := range conf.InputPaths {
 		dirs, err := listSplitDirs(fs, dataset)
 		if err != nil {
-			return nil, report, err
+			return plan, err
 		}
-		report.SplitsTotal += len(dirs)
-		if elide {
-			kept := make([]string, 0, len(dirs))
+		plan.report.SplitsTotal += len(dirs)
+		kept := dirs
+		if plan.elide {
+			kept = make([]string, 0, len(dirs))
 			for _, dir := range dirs {
-				if pruneSplitDir(fs, dir, planner, &report) {
-					report.SplitsPruned++
+				if pruneSplitDir(fs, dir, planner, &plan.report) {
+					plan.report.SplitsPruned++
 					continue
 				}
 				kept = append(kept, dir)
 			}
-			dirs = kept
 		}
-		for i := 0; i < len(dirs); i += per {
-			j := i + per
-			if j > len(dirs) {
-				j = len(dirs)
-			}
-			out = append(out, &Split{Dirs: dirs[i:j], Columns: columns, Judged: elide})
-		}
+		plan.datasets = append(plan.datasets, datasetDirs{path: dataset, all: dirs, kept: kept})
 	}
-	return out, report, nil
+	return plan, nil
 }
 
-// pruneSplitDir decides the scheduler tier for one split-directory. Filter
-// columns resolve lazily, so only the files the predicate's Prune
-// traversal actually consults cost a footer read. Every failure mode
-// (missing schema, missing file, corrupt stats) degrades to "no
-// statistics", never to a scheduling error: a directory the planner cannot
-// judge is scheduled, and real I/O errors surface in the task that opens
-// it.
-func pruneSplitDir(fs *hdfs.FileSystem, dir string, planner *scan.Planner, report *scan.PruneReport) bool {
+// splitSize resolves the directories-per-split for one run of directories:
+// the configured constant, or the selectivity-estimated size in auto mode.
+func (f *InputFormat) splitSize(fs *hdfs.FileSystem, pred scan.Predicate, dirs []string) int {
+	if f.DirsPerSplit == AutoDirsPerSplit {
+		return autoDirsPerSplit(fs, pred, dirs)
+	}
+	if f.DirsPerSplit < 1 {
+		return 1
+	}
+	return f.DirsPerSplit
+}
+
+// autoDirsPerSplit sizes splits so each map task covers roughly one
+// split-directory's worth of *qualifying* work: estimated matches per
+// directory shrink with selectivity, so the directories-per-task ratio
+// grows as rows/matches, clamped to the surviving run. Estimation failure
+// (no statistics, unreadable footers) falls back to the constant default —
+// sizing is a costing decision, never a correctness one.
+func autoDirsPerSplit(fs *hdfs.FileSystem, pred scan.Predicate, dirs []string) int {
+	if pred == nil || len(dirs) < 2 {
+		return 1
+	}
+	var rows, matches float64
+	for _, dir := range dirs {
+		r, est, ok := estimateDirMatches(fs, dir, pred)
+		if !ok {
+			return 1
+		}
+		rows += r
+		matches += est
+	}
+	if rows <= 0 {
+		return 1
+	}
+	if matches < 1 {
+		matches = 1
+	}
+	per := int(rows / matches)
+	if per < 1 {
+		per = 1
+	}
+	if per > len(dirs) {
+		per = len(dirs)
+	}
+	return per
+}
+
+// estimateDirMatches estimates one split-directory's row count and
+// qualifying rows from whole-file footer statistics. Sizing is a costing
+// phase, not a pruning one: its footer reads are uncharged metadata (and
+// not counted in PruneReport.FilesChecked, which reports the scheduler
+// tier's consultations).
+func estimateDirMatches(fs *hdfs.FileSystem, dir string, pred scan.Predicate) (rows, est float64, ok bool) {
 	schema, err := readSplitSchema(fs, dir)
 	if err != nil {
-		return false
+		return 0, 0, false
 	}
-	cache := make(map[string]*scan.ColStats, len(planner.FilterColumns()))
+	stats, recordCount := dirStatsSource(fs, dir, schema, nil)
+	var maxRows int64
+	wrapped := func(col string) *scan.ColStats {
+		st := stats(col)
+		if st != nil && st.Rows > maxRows {
+			maxRows = st.Rows
+		}
+		return st
+	}
+	frac := scan.EstimateFraction(pred, wrapped)
+	if maxRows == 0 {
+		// The estimate consulted no statistics; count records directly from
+		// any column's footer so the row total stays real.
+		if maxRows = recordCount(); maxRows == 0 {
+			return 0, 0, false
+		}
+	}
+	return float64(maxRows), frac * float64(maxRows), true
+}
+
+// dirStatsSource returns a cached whole-file statistics resolver over dir's
+// column footers, plus a record-count fallback (any column's footer can
+// count the directory's records). The optional onRead observes each footer
+// actually consulted. Every failure mode (missing schema handled by the
+// caller, missing file, corrupt stats) degrades to "no statistics", never
+// to an error: real I/O errors surface in the task that opens the
+// directory, not in planning.
+func dirStatsSource(fs *hdfs.FileSystem, dir string, schema *serde.Schema, onRead func()) (scan.StatsFunc, func() int64) {
+	cache := make(map[string]*scan.ColStats)
 	stats := func(col string) *scan.ColStats {
 		if st, ok := cache[col]; ok {
 			return st
@@ -207,7 +324,9 @@ func pruneSplitDir(fs *hdfs.FileSystem, dir string, planner *scan.Planner, repor
 		var st *scan.ColStats
 		if cs := schema.Field(col); cs != nil {
 			if hr, err := fs.Open(dir+"/"+col, hdfs.AnyNode); err == nil {
-				report.FilesChecked++
+				if onRead != nil {
+					onRead()
+				}
 				st, _ = colfile.FileStats(hr, cs)
 				hr.Close()
 			}
@@ -215,9 +334,6 @@ func pruneSplitDir(fs *hdfs.FileSystem, dir string, planner *scan.Planner, repor
 		cache[col] = st
 		return st
 	}
-	// The record-count fallback covers proofs that consulted no
-	// statistics (a constant-false predicate): the elided records still
-	// need accounting, from any column's footer.
 	recordCount := func() int64 {
 		if len(schema.Fields) == 0 {
 			return 0
@@ -230,6 +346,21 @@ func pruneSplitDir(fs *hdfs.FileSystem, dir string, planner *scan.Planner, repor
 		n, _ := colfile.RecordCount(hr)
 		return n
 	}
+	return stats, recordCount
+}
+
+// pruneSplitDir decides the scheduler tier for one split-directory. Filter
+// columns resolve lazily, so only the files the predicate's Prune
+// traversal actually consults cost a footer read. A directory the planner
+// cannot judge is scheduled. The record-count fallback covers proofs that
+// consulted no statistics (a constant-false predicate): the elided records
+// still need accounting.
+func pruneSplitDir(fs *hdfs.FileSystem, dir string, planner *scan.Planner, report *scan.PruneReport) bool {
+	schema, err := readSplitSchema(fs, dir)
+	if err != nil {
+		return false
+	}
+	stats, recordCount := dirStatsSource(fs, dir, schema, func() { report.FilesChecked++ })
 	pruned, rows := planner.PruneFileRows(stats, recordCount)
 	if pruned {
 		report.RecordsPruned += rows
@@ -431,42 +562,8 @@ func (r *Reader) openDir(dir string) (pruned bool, err error) {
 	if r.stats != nil {
 		cpu = &r.stats.CPU
 	}
-	// Column streams refill at readahead granularity: large enough to
-	// amortize the inter-file arm movement of a multi-column scan (the
-	// paper's ~25% full-scan overhead vs SEQ), small enough that skip-list
-	// jumps beyond it still eliminate I/O. A fixed reader memory budget is
-	// divided among the streams, so very wide records get smaller buffers
-	// and proportionally more arm movement — the growing column-storage
-	// overhead the paper measures in Appendix B.5.
-	chunk := sim.ReadaheadBytes
-	if budget := readerMemoryBudget / len(r.allCols); chunk > budget {
-		chunk = budget
-	}
-	if tu := int(r.fs.Config().TransferUnit); chunk < tu {
-		chunk = tu
-	}
-	ropts := colfile.ReaderOptions{Chunk: chunk}
 	selective := r.planner.Predicate() != nil
-	if selective && sim.SelectiveReadaheadBytes < chunk {
-		// Adaptive readahead: a selective scan jumps between qualifying
-		// groups instead of streaming, so a full window mostly prefetches
-		// bytes the next jump discards. Once a jump is observed, refills
-		// shrink below the transfer unit — trading unit-granular charges
-		// for the chance that the next jump clears a whole unit — and
-		// sequential refills ramp back to the full window, so a dense
-		// (unselective) predicate costs exactly a plain scan.
-		ropts.ChunkMin = sim.SelectiveReadaheadBytes
-	}
-	// A refill seeks only when another stream moved the arm of this
-	// stream's disk since its last refill. With blocks spread round-robin
-	// over D disks and S streams refilling in rotation, that probability
-	// is 1-(1-1/D)^(S-1): negligible for two streams, near-certain for
-	// the thirteen-column full scan (DESIGN.md, decision 4; this is why
-	// the paper's CIF full-record scan trails SEQ by ~25%). Charged per
-	// byte — normalized to the model's readahead window so smaller
-	// buffers cost proportionally more (the ramp reports its granularity
-	// per refill) — so it extrapolates exactly across scales.
-	collide := interleaveFactor(len(r.allCols), r.fs.Config().DisksPerNode)
+	ropts, collide := dirCursorOptions(r.fs, len(r.allCols), selective)
 	files := make([]*hdfs.FileReader, 0, len(r.allCols))
 	closeAll := func() {
 		for _, hr := range files {
@@ -622,6 +719,50 @@ func (r *Reader) Schema() *serde.Schema { return r.proj }
 // readerMemoryBudget caps the total buffer memory of one CIF reader; wide
 // projections divide it among their column streams.
 const readerMemoryBudget = 32 << 20
+
+// dirCursorOptions computes the shared physical model of one cursor set
+// over a split-directory — the same for a solo Reader and a shared scan,
+// so co-scheduling never changes how a byte is priced.
+//
+// Column streams refill at readahead granularity: large enough to amortize
+// the inter-file arm movement of a multi-column scan (the paper's ~25%
+// full-scan overhead vs SEQ), small enough that skip-list jumps beyond it
+// still eliminate I/O. A fixed reader memory budget is divided among the
+// streams, so very wide records get smaller buffers and proportionally more
+// arm movement — the growing column-storage overhead the paper measures in
+// Appendix B.5.
+//
+// With a predicate set, adaptive readahead applies: a selective scan jumps
+// between qualifying groups instead of streaming, so a full window mostly
+// prefetches bytes the next jump discards. Once a jump is observed, refills
+// shrink below the transfer unit — trading unit-granular charges for the
+// chance that the next jump clears a whole unit — and sequential refills
+// ramp back to the full window, so a dense (unselective) predicate costs
+// exactly a plain scan.
+//
+// collide is the probability a refill seeks because another stream moved
+// the arm of this stream's disk since its last refill. With blocks spread
+// round-robin over D disks and S streams refilling in rotation, that
+// probability is 1-(1-1/D)^(S-1): negligible for two streams, near-certain
+// for the thirteen-column full scan (DESIGN.md, decision 4; this is why the
+// paper's CIF full-record scan trails SEQ by ~25%). Charged per byte —
+// normalized to the model's readahead window so smaller buffers cost
+// proportionally more (the ramp reports its granularity per refill) — so it
+// extrapolates exactly across scales.
+func dirCursorOptions(fs *hdfs.FileSystem, streams int, selective bool) (colfile.ReaderOptions, float64) {
+	chunk := sim.ReadaheadBytes
+	if budget := readerMemoryBudget / streams; chunk > budget {
+		chunk = budget
+	}
+	if tu := int(fs.Config().TransferUnit); chunk < tu {
+		chunk = tu
+	}
+	ropts := colfile.ReaderOptions{Chunk: chunk}
+	if selective && sim.SelectiveReadaheadBytes < chunk {
+		ropts.ChunkMin = sim.SelectiveReadaheadBytes
+	}
+	return ropts, interleaveFactor(streams, fs.Config().DisksPerNode)
+}
 
 // interleaveFactor is the probability that a stream's refill requires an
 // arm movement, given streams concurrent streams over disks spindles.

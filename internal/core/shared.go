@@ -1,0 +1,692 @@
+package core
+
+import (
+	"fmt"
+
+	"colmr/internal/colfile"
+	"colmr/internal/hdfs"
+	"colmr/internal/mapred"
+	"colmr/internal/scan"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+)
+
+// Shared scans (the batch engine's storage side). A SharedReader drives one
+// cursor set over a split's directories for N co-scheduled member jobs:
+//
+//   - the cursors cover the union of the members' projected and filter
+//     columns, and the pushdown predicate is the union (OR) of the members'
+//     predicates, so group pruning jumps only the regions *no* member can
+//     match and the scan runs at the union's selectivity;
+//   - each record surfacing from the union scan is demultiplexed by the
+//     members' residual predicates (identical residuals share one verdict
+//     per record via scan.Union's eval groups), and qualifying members
+//     receive the record under their own projection and materialization
+//     mode;
+//   - each member keeps solo-exact logical accounting. The member's own
+//     planner replays the solo reader's group-tier consultation sequence —
+//     the same positions, the same verdicts, the same extents — so per-job
+//     GroupsPruned / RecordsPruned / RecordsFiltered match a solo run
+//     exactly and "pruned + filtered + returned == dataset size" holds per
+//     job. This works because a position inside any member's established
+//     may-match region can never be skipped by the union tier: the union
+//     OR prunes only where every member's subtree proves NoMatch over the
+//     same statistics.
+//
+// Physical work is attributed once: every column stream charges a per-column
+// I/O bucket which Close folds into the shared TaskStats, along with
+// SharedReads (cursor opens avoided) and BytesSaved (charged bytes times the
+// additional members each stream served). Member TaskStats carry logical
+// counters only.
+
+// SharedSplits implements mapred.SharedInputFormat: per-job split planning
+// (scheduler-tier elision with each job's own predicate) followed by
+// co-scheduling. Directories surviving for the same member set are merged
+// into shared splits in global directory order, so each member's record
+// order across the batch equals its solo split order.
+func (f *InputFormat) SharedSplits(fs *hdfs.FileSystem, confs []*mapred.JobConf) ([]mapred.SharedSplit, []scan.PruneReport, error) {
+	reports := make([]scan.PruneReport, len(confs))
+	plans := make([]dirPlan, len(confs))
+	for i, conf := range confs {
+		plan, err := f.planDirs(fs, conf, true)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: planning batch member %d: %w", i, err)
+		}
+		plans[i] = plan
+		reports[i] = plan.report
+	}
+	// Global directory order: datasets in first-appearance order across
+	// members, directories in numeric order within each dataset.
+	var datasetOrder []string
+	allOf := make(map[string][]string)
+	membersOf := make(map[string][]int)
+	for i := range plans {
+		for _, ds := range plans[i].datasets {
+			if _, ok := allOf[ds.path]; !ok {
+				datasetOrder = append(datasetOrder, ds.path)
+				allOf[ds.path] = ds.all
+			}
+			for _, dir := range ds.kept {
+				membersOf[dir] = append(membersOf[dir], i)
+			}
+		}
+	}
+	var out []mapred.SharedSplit
+	for _, dataset := range datasetOrder {
+		dirs := allOf[dataset]
+		for i := 0; i < len(dirs); {
+			ms := membersOf[dirs[i]]
+			if len(ms) == 0 {
+				i++
+				continue
+			}
+			// A run of consecutive directories with an identical member set
+			// is one co-scheduling unit; the member-set boundary is also a
+			// task boundary so per-member accounting stays per-plan.
+			j := i + 1
+			for j < len(dirs) && sameMembers(membersOf[dirs[j]], ms) {
+				j++
+			}
+			run := dirs[i:j]
+			runPreds := make([]scan.Predicate, len(ms))
+			for k, m := range ms {
+				runPreds[k] = plans[m].pred
+			}
+			union := scan.NewUnion(runPreds)
+			per := f.splitSize(fs, union.Shared, run)
+			cols := unionColumns(plans, ms)
+			for a := 0; a < len(run); a += per {
+				b := a + per
+				if b > len(run) {
+					b = len(run)
+				}
+				out = append(out, mapred.SharedSplit{
+					Split:   &Split{Dirs: run[a:b], Columns: cols, Judged: true},
+					Members: append([]int(nil), ms...),
+				})
+			}
+			i = j
+		}
+	}
+	return out, reports, nil
+}
+
+// sameMembers reports whether two (sorted, append-ordered) member lists are
+// identical.
+func sameMembers(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// unionColumns merges the members' locality columns; nil (all columns) wins.
+func unionColumns(plans []dirPlan, ms []int) []string {
+	var cols []string
+	for _, m := range ms {
+		if plans[m].columns == nil {
+			return nil
+		}
+		for _, c := range plans[m].columns {
+			cols = appendColumnName(cols, c)
+		}
+	}
+	return cols
+}
+
+func appendColumnName(dst []string, col string) []string {
+	for _, c := range dst {
+		if c == col {
+			return dst
+		}
+	}
+	return append(dst, col)
+}
+
+// OpenShared implements mapred.SharedInputFormat.
+func (f *InputFormat) OpenShared(fs *hdfs.FileSystem, confs []*mapred.JobConf, split mapred.Split, members []int, node hdfs.NodeID, memberStats []*sim.TaskStats, shared *sim.TaskStats) (mapred.SharedRecordReader, error) {
+	csplit, ok := split.(*Split)
+	if !ok {
+		return nil, fmt.Errorf("core: unexpected split type %T", split)
+	}
+	if len(csplit.Dirs) == 0 {
+		return nil, fmt.Errorf("core: empty split")
+	}
+	if len(members) == 0 || len(members) != len(memberStats) {
+		return nil, fmt.Errorf("core: %d members with %d stats sinks", len(members), len(memberStats))
+	}
+	schema, err := readSplitSchema(fs, csplit.Dirs[0])
+	if err != nil {
+		return nil, err
+	}
+	sr := &SharedReader{
+		fs:     fs,
+		node:   node,
+		shared: shared,
+		schema: schema,
+		dirs:   csplit.Dirs,
+		dirIdx: -1,
+	}
+	preds := make([]scan.Predicate, len(members))
+	for k, mi := range members {
+		conf := confs[mi]
+		cols := projection(conf)
+		proj := schema
+		if len(cols) > 0 {
+			if proj, err = schema.Project(cols...); err != nil {
+				return nil, err
+			}
+		} else {
+			cols = schema.FieldNames()
+		}
+		pred, err := scan.FromConf(conf)
+		if err != nil {
+			return nil, err
+		}
+		need := make(map[string]bool, len(cols))
+		for _, c := range cols {
+			need[c] = true
+		}
+		if pred != nil {
+			for _, col := range pred.Columns(nil) {
+				if schema.Field(col) == nil {
+					return nil, fmt.Errorf("core: predicate references unknown column %q", col)
+				}
+				need[col] = true
+			}
+		}
+		preds[k] = pred
+		m := &sharedMember{
+			proj:    proj,
+			columns: cols,
+			need:    need,
+			lazy:    conf.Get(LazyProp) == "true",
+			planner: scan.NewPlanner(pred),
+			stats:   memberStats[k],
+		}
+		m.lrec = &sharedLazyRecord{sr: sr, m: m}
+		sr.members = append(sr.members, m)
+	}
+	union := scan.NewUnion(preds)
+	sr.planner = scan.NewPlanner(union.Shared)
+	sr.evalPos = make([]int64, union.NumGroups)
+	sr.evalOK = make([]bool, union.NumGroups)
+	for k, m := range sr.members {
+		m.evalGroup = union.EvalGroups[k]
+	}
+	// The cursor set covers the union of the members' needs: projected
+	// columns first (member order), then filter-only columns.
+	for _, m := range sr.members {
+		for _, c := range m.columns {
+			sr.allCols = appendColumnName(sr.allCols, c)
+		}
+	}
+	for _, c := range union.Columns {
+		sr.allCols = appendColumnName(sr.allCols, c)
+	}
+	sr.needers = make([]int, len(sr.allCols))
+	for ci, col := range sr.allCols {
+		for _, m := range sr.members {
+			if m.need[col] {
+				sr.needers[ci]++
+			}
+		}
+	}
+	for _, m := range sr.members {
+		m.colCursor = make([]int, len(m.columns))
+		for i, col := range m.columns {
+			for ci, c := range sr.allCols {
+				if c == col {
+					m.colCursor[i] = ci
+					break
+				}
+			}
+		}
+	}
+	if err := sr.nextDir(); err != nil {
+		sr.Close()
+		return nil, err
+	}
+	return sr, nil
+}
+
+// SharedReader iterates a shared split for several member jobs at once,
+// implementing mapred.SharedRecordReader.
+type SharedReader struct {
+	fs      *hdfs.FileSystem
+	node    hdfs.NodeID
+	shared  *sim.TaskStats
+	schema  *serde.Schema
+	members []*sharedMember
+	planner *scan.Planner // union predicate
+	allCols []string
+	needers []int // members needing each column
+
+	dirs         []string
+	dirIdx       int
+	cursors      []*cursor
+	colIO        []sim.IOStats // per-cursor physical I/O for the open dir
+	byName       map[string]*cursor
+	total        int64
+	curPos       int64
+	pruneValidTo int64
+	done         bool
+
+	// Residual-evaluation dedup: one verdict per eval group per record.
+	evalPos []int64
+	evalOK  []bool
+	// matCounted is the record most recently counted as materialized
+	// (once per record, however many members consumed it).
+	matCounted int64
+
+	outVals []any
+	outIdx  []int
+}
+
+// sharedMember is one job's sink within a shared scan.
+type sharedMember struct {
+	proj      *serde.Schema
+	columns   []string // projected columns, record field order
+	colCursor []int    // cursor index of each projected column
+	need      map[string]bool
+	lazy      bool
+	planner   *scan.Planner // the member's own predicate
+	stats     *sim.TaskStats
+	evalGroup int
+	lrec      *sharedLazyRecord
+
+	// Solo-replay accounting state, reset per directory: acctPos is the
+	// next unaccounted record, validTo bounds the current may-match region.
+	acctPos int64
+	validTo int64
+}
+
+// nextDir folds the finished directory's physical accounting and opens the
+// next one. Unlike the solo reader there is no file pruning tier here: the
+// member set already encodes each job's scheduler-tier verdict for every
+// directory of the split.
+func (sr *SharedReader) nextDir() error {
+	sr.closeCursors()
+	sr.dirIdx++
+	if sr.dirIdx >= len(sr.dirs) {
+		sr.done = true
+		return nil
+	}
+	dir := sr.dirs[sr.dirIdx]
+	if sr.dirIdx > 0 {
+		s, err := readSplitSchema(sr.fs, dir)
+		if err != nil {
+			return err
+		}
+		if !s.Equal(sr.schema) {
+			return fmt.Errorf("core: split-directory %s schema differs from %s", dir, sr.dirs[0])
+		}
+	}
+	if err := sr.openDir(dir); err != nil {
+		return err
+	}
+	sr.curPos = -1
+	sr.pruneValidTo = 0
+	sr.matCounted = -1
+	for i := range sr.evalPos {
+		sr.evalPos[i] = -1
+	}
+	for _, m := range sr.members {
+		m.acctPos, m.validTo = 0, 0
+	}
+	return nil
+}
+
+// openDir opens the union cursor set over dir, each stream charging its own
+// I/O bucket so Close can attribute sharing savings per column.
+func (sr *SharedReader) openDir(dir string) error {
+	selective := sr.planner.Predicate() != nil
+	ropts, collide := dirCursorOptions(sr.fs, len(sr.allCols), selective)
+	sr.colIO = make([]sim.IOStats, len(sr.allCols))
+	closeAll := func() {
+		for _, c := range sr.cursors {
+			c.hr.Close()
+		}
+		sr.cursors = nil
+		sr.colIO = nil
+	}
+	for i, col := range sr.allCols {
+		hr, err := sr.fs.Open(dir+"/"+col, sr.node)
+		if err != nil {
+			closeAll()
+			return fmt.Errorf("core: opening column %q: %w", col, err)
+		}
+		hr.SetStats(&sr.colIO[i])
+		opts := ropts
+		if collide > 0 {
+			hr := hr
+			opts.OnRefill = func(n, cur int) {
+				hr.ChargeInterleaved(int64(float64(n)*collide*float64(sim.ReadaheadBytes)/float64(cur) + 0.5))
+			}
+		}
+		cr, err := colfile.NewReaderOpts(hr, sr.schema.Field(col), opts, &sr.shared.CPU)
+		if err != nil {
+			hr.Close()
+			closeAll()
+			return fmt.Errorf("core: column %q: %w", col, err)
+		}
+		sr.cursors = append(sr.cursors, &cursor{name: col, schema: sr.schema.Field(col), hr: hr, r: cr, cachedPos: -1})
+	}
+	sr.byName = make(map[string]*cursor, len(sr.cursors))
+	for _, c := range sr.cursors {
+		sr.byName[c.name] = c
+	}
+	sr.total = sr.cursors[0].r.Total()
+	for _, c := range sr.cursors {
+		if c.r.Total() != sr.total {
+			return fmt.Errorf("core: column %q has %d records, %q has %d", c.name, c.r.Total(), sr.cursors[0].name, sr.total)
+		}
+	}
+	return nil
+}
+
+// closeCursors closes the open directory's streams and folds their physical
+// accounting into the shared stats — including the sharing savings: a
+// stream that served k members replaced k-1 solo cursors and their bytes.
+func (sr *SharedReader) closeCursors() {
+	for i, c := range sr.cursors {
+		c.hr.Close()
+		io := sr.colIO[i]
+		sr.shared.IO.Add(io)
+		if extra := sr.needers[i] - 1; extra > 0 {
+			sr.shared.SharedReads += int64(extra)
+			sr.shared.BytesSaved += int64(extra) * io.TotalChargedBytes()
+		}
+	}
+	sr.cursors = nil
+	sr.byName = nil
+	sr.colIO = nil
+}
+
+// Next implements mapred.SharedRecordReader. The returned slices are reused
+// across calls; lazy member records are valid until the next call, like the
+// solo reader's.
+func (sr *SharedReader) Next() (any, []any, []int, bool, error) {
+	for {
+		if sr.done {
+			return nil, nil, nil, false, nil
+		}
+		if sr.curPos+1 >= sr.total {
+			sr.finishDir()
+			if err := sr.nextDir(); err != nil {
+				return nil, nil, nil, false, err
+			}
+			continue
+		}
+		sr.curPos++
+		pos := sr.curPos
+		// Union group tier: skip regions no member can match. The union
+		// extent is the narrowest group consulted across every member's
+		// filter columns, so each member's own accounting re-proves (and
+		// counts) the skip at its own granularity below.
+		if sr.planner.Predicate() != nil && pos >= sr.pruneValidTo {
+			tri, end := sr.planner.PruneGroup(pos, sr.total, sr.groupStats)
+			if tri == scan.NoMatch {
+				sr.shared.GroupsPruned++
+				sr.shared.RecordsPruned += end - pos
+				sr.curPos = end - 1
+				continue
+			}
+			sr.pruneValidTo = end
+		}
+		sr.outVals = sr.outVals[:0]
+		sr.outIdx = sr.outIdx[:0]
+		for mi, m := range sr.members {
+			if !sr.memberWants(m, pos) {
+				continue
+			}
+			match, err := sr.memberMatch(m, pos)
+			if err != nil {
+				return nil, nil, nil, false, err
+			}
+			m.acctPos = pos + 1
+			if !match {
+				m.stats.RecordsFiltered++
+				continue
+			}
+			v, err := sr.deliver(m)
+			if err != nil {
+				return nil, nil, nil, false, err
+			}
+			sr.outVals = append(sr.outVals, v)
+			sr.outIdx = append(sr.outIdx, mi)
+		}
+		if len(sr.outIdx) > 0 {
+			return nil, sr.outVals, sr.outIdx, true, nil
+		}
+	}
+}
+
+// advanceMember replays m's solo group-tier consultation sequence until
+// every record below limit is accounted: consult at the next unaccounted
+// position, count and jump NoMatch extents (which may legitimately
+// overshoot limit — the proof covers the whole extent), extend may-match
+// regions. May-match records below limit were crossed by the union cursor
+// without evaluation — unreachable by the region-consistency argument in
+// the package comment — and are counted filtered defensively so the
+// per-job sum invariant cannot silently break.
+func (sr *SharedReader) advanceMember(m *sharedMember, limit int64) {
+	for m.acctPos < limit {
+		if m.acctPos < m.validTo {
+			end := m.validTo
+			if end > limit {
+				end = limit
+			}
+			m.stats.RecordsFiltered += end - m.acctPos
+			m.acctPos = end
+			continue
+		}
+		tri, end := m.planner.PruneGroup(m.acctPos, sr.total, sr.groupStats)
+		if tri == scan.NoMatch {
+			m.stats.GroupsPruned++
+			m.stats.RecordsPruned += end - m.acctPos
+			m.acctPos = end
+			continue
+		}
+		if end <= m.acctPos {
+			end = m.acctPos + 1
+		}
+		m.validTo = end
+	}
+}
+
+// memberWants advances m's solo-replay accounting to pos and reports
+// whether the member must evaluate the record exactly — so per-member
+// counters are independent of the union cursor's path.
+func (sr *SharedReader) memberWants(m *sharedMember, pos int64) bool {
+	sr.advanceMember(m, pos)
+	if m.acctPos > pos {
+		return false // the member's own tier pruned past pos
+	}
+	if m.acctPos >= m.validTo {
+		tri, end := m.planner.PruneGroup(pos, sr.total, sr.groupStats)
+		if tri == scan.NoMatch {
+			m.stats.GroupsPruned++
+			m.stats.RecordsPruned += end - pos
+			m.acctPos = end
+			return false
+		}
+		if end <= pos {
+			end = pos + 1
+		}
+		m.validTo = end
+	}
+	return true
+}
+
+// memberMatch decides m's residual predicate for the current record,
+// sharing verdicts between members with identical residuals.
+func (sr *SharedReader) memberMatch(m *sharedMember, pos int64) (bool, error) {
+	p := m.planner.Predicate()
+	if p == nil {
+		return true, nil
+	}
+	g := m.evalGroup
+	if g >= 0 && sr.evalPos[g] == pos {
+		return sr.evalOK[g], nil
+	}
+	ok, err := p.Eval(sharedEval{sr})
+	if err != nil {
+		return false, err
+	}
+	if g >= 0 {
+		sr.evalPos[g] = pos
+		sr.evalOK[g] = ok
+	}
+	return ok, nil
+}
+
+// deliver materializes the current record for one member, under the
+// member's own projection and materialization mode. Values flow through the
+// shared per-cursor cache, so a column consumed by several members (or by a
+// residual and a projection) is deserialized once.
+func (sr *SharedReader) deliver(m *sharedMember) (any, error) {
+	if m.lazy {
+		return m.lrec, nil
+	}
+	rec := serde.NewRecord(m.proj)
+	for i, ci := range m.colCursor {
+		v, err := sr.valueAt(sr.cursors[ci])
+		if err != nil {
+			return nil, err
+		}
+		rec.SetAt(i, v)
+	}
+	sr.countMaterialized()
+	return rec, nil
+}
+
+// countMaterialized counts record-object construction once per record,
+// however many members consumed it — the object churn is shared through
+// the cursor cache, so charging it per member would overstate CPU work.
+func (sr *SharedReader) countMaterialized() {
+	if sr.matCounted != sr.curPos {
+		sr.shared.CPU.RecordsMaterialized++
+		sr.matCounted = sr.curPos
+	}
+}
+
+// finishDir flushes every member's accounting to the end of the open
+// directory: trailing regions the union tier skipped are counted with each
+// member's own group-tier verdicts, exactly as the solo reader would have.
+func (sr *SharedReader) finishDir() {
+	if sr.cursors == nil {
+		return
+	}
+	for _, m := range sr.members {
+		sr.advanceMember(m, sr.total)
+	}
+}
+
+// Close implements mapred.SharedRecordReader.
+func (sr *SharedReader) Close() error {
+	sr.closeCursors()
+	sr.done = true
+	return nil
+}
+
+// groupStats resolves one column's zone maps for the union and member
+// planners.
+func (sr *SharedReader) groupStats(col string, rec int64) (*scan.ColStats, int64) {
+	c, ok := sr.byName[col]
+	if !ok {
+		return nil, 0
+	}
+	src, ok := c.r.(colfile.StatsSource)
+	if !ok {
+		return nil, 0
+	}
+	return src.GroupStats(rec)
+}
+
+// valueAt materializes cursor c's value for the current record through the
+// shared per-record cache (cf. Reader.valueAt).
+func (sr *SharedReader) valueAt(c *cursor) (any, error) {
+	if c.cachedPos == sr.curPos {
+		return c.cached, nil
+	}
+	if err := c.r.SkipTo(sr.curPos); err != nil {
+		return nil, fmt.Errorf("core: column %q skip to %d: %w", c.name, sr.curPos, err)
+	}
+	v, err := c.r.Value()
+	if err != nil {
+		return nil, fmt.Errorf("core: column %q record %d: %w", c.name, sr.curPos, err)
+	}
+	c.cached = v
+	c.cachedPos = sr.curPos
+	return v, nil
+}
+
+// sharedEval adapts the SharedReader to scan.Evaluator for residual
+// evaluation (cf. evalCtx in scanexec.go).
+type sharedEval struct {
+	sr *SharedReader
+}
+
+// Value implements scan.Evaluator.
+func (e sharedEval) Value(col string) (any, error) {
+	c, ok := e.sr.byName[col]
+	if !ok {
+		return nil, fmt.Errorf("core: column %q is not in the shared cursor set %v", col, e.sr.allCols)
+	}
+	return e.sr.valueAt(c)
+}
+
+// HasKey implements scan.Evaluator: map-key tests on probing layouts are
+// decided without materializing the map value.
+func (e sharedEval) HasKey(col, key string) (bool, bool, error) {
+	sr := e.sr
+	c, ok := sr.byName[col]
+	if !ok {
+		return false, false, fmt.Errorf("core: column %q is not in the shared cursor set %v", col, sr.allCols)
+	}
+	if c.cachedPos == sr.curPos {
+		return false, false, nil
+	}
+	kp, ok := c.r.(colfile.KeyProber)
+	if !ok {
+		return false, false, nil
+	}
+	if err := c.r.SkipTo(sr.curPos); err != nil {
+		return false, false, fmt.Errorf("core: column %q skip to %d: %w", c.name, sr.curPos, err)
+	}
+	return kp.HasKey(key)
+}
+
+// sharedLazyRecord is one member's lazy view over the shared cursor set —
+// the shared-scan analogue of LazyRecord, scoped to the member's projection.
+type sharedLazyRecord struct {
+	sr *SharedReader
+	m  *sharedMember
+}
+
+// Schema implements serde.Record.
+func (l *sharedLazyRecord) Schema() *serde.Schema { return l.m.proj }
+
+// Get implements serde.Record.
+func (l *sharedLazyRecord) Get(name string) (any, error) {
+	sr, m := l.sr, l.m
+	if m.proj.FieldIndex(name) < 0 {
+		return nil, fmt.Errorf("core: column %q is not in the projection %v", name, m.columns)
+	}
+	c, ok := sr.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("core: column %q is not in the shared cursor set %v", name, sr.allCols)
+	}
+	v, err := sr.valueAt(c)
+	if err != nil {
+		return nil, err
+	}
+	sr.countMaterialized()
+	return v, nil
+}

@@ -59,6 +59,47 @@ type PlannedInputFormat interface {
 	PlannedSplits(fs *hdfs.FileSystem, conf *JobConf) ([]Split, scan.PruneReport, error)
 }
 
+// SharedSplit is one co-scheduled map task of a batch: a split plus the
+// member jobs it serves. Members are indices into the conf slice handed to
+// SharedInputFormat.SharedSplits (batch-local, not global job ids).
+type SharedSplit struct {
+	Split   Split
+	Members []int
+}
+
+// SharedInputFormat is implemented by input formats whose readers can be
+// co-scheduled: one cursor set per split serves several jobs at once, each
+// job receiving exactly the records (and the per-job accounting) a solo run
+// would have produced. CIF implements it by reading the union of the jobs'
+// columns at the union predicate's selectivity and demultiplexing with
+// per-job residual predicates (Engine.RunBatch, internal/core SharedReader).
+type SharedInputFormat interface {
+	PlannedInputFormat
+	// SharedSplits plans the jobs' splits together: per-job split planning
+	// (scheduler-tier elision included) runs with each job's own predicate,
+	// then split-directories surviving for more than one job are merged
+	// into shared splits. The returned reports are per job, in conf order.
+	SharedSplits(fs *hdfs.FileSystem, confs []*JobConf) ([]SharedSplit, []scan.PruneReport, error)
+	// OpenShared opens one reader driving a single cursor set for the
+	// split's member jobs. memberStats receives each member's logical
+	// accounting (records pruned / filtered / materialized for that job);
+	// shared receives the physical work (I/O, decode, SharedReads,
+	// BytesSaved), charged exactly once for the whole member set.
+	OpenShared(fs *hdfs.FileSystem, confs []*JobConf, split Split, members []int, node hdfs.NodeID, memberStats []*sim.TaskStats, shared *sim.TaskStats) (SharedRecordReader, error)
+}
+
+// SharedRecordReader iterates one shared split for several member jobs.
+type SharedRecordReader interface {
+	// Next returns the next record qualifying for at least one member job.
+	// members lists the qualifying members as positions into the members
+	// slice OpenShared received; vals[i] is the record as members[i] sees
+	// it (that job's projection and materialization mode).
+	Next() (key any, vals []any, members []int, ok bool, err error)
+	// Close releases the cursor set and folds its physical accounting into
+	// the shared stats.
+	Close() error
+}
+
 // RecordWriter persists job output pairs.
 type RecordWriter interface {
 	Write(key, value any) error

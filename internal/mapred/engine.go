@@ -168,24 +168,7 @@ func runMapTask(fs *hdfs.FileSystem, job *Job, split Split, node hdfs.NodeID, nu
 	}
 	defer reader.Close()
 
-	emit := func(key, value any) error {
-		kb, err := KeyBytes(key)
-		if err != nil {
-			return err
-		}
-		vb, err := KeyBytes(value)
-		if err != nil {
-			return err
-		}
-		p, err := Partition(key, numParts)
-		if err != nil {
-			return err
-		}
-		out.partitions[p] = append(out.partitions[p], shufflePair{key: key, value: value, keyBytes: kb, valBytes: vb})
-		out.stats.OutputRecords++
-		out.stats.OutputBytes += SizeOf(key) + SizeOf(value)
-		return nil
-	}
+	emit := emitInto(out, numParts)
 
 	for {
 		k, v, ok, err := reader.Next()
@@ -206,6 +189,31 @@ func runMapTask(fs *hdfs.FileSystem, job *Job, split Split, node hdfs.NodeID, nu
 		}
 	}
 	return out, nil
+}
+
+// emitInto returns the Emit closure appending map-output pairs to out's
+// partitions with the standard shuffle accounting. Solo map tasks and each
+// member sink of a shared scan build their emits here, so per-job output
+// accounting is identical in both execution modes.
+func emitInto(out *taskOutput, numParts int) Emit {
+	return func(key, value any) error {
+		kb, err := KeyBytes(key)
+		if err != nil {
+			return err
+		}
+		vb, err := KeyBytes(value)
+		if err != nil {
+			return err
+		}
+		p, err := Partition(key, numParts)
+		if err != nil {
+			return err
+		}
+		out.partitions[p] = append(out.partitions[p], shufflePair{key: key, value: value, keyBytes: kb, valBytes: vb})
+		out.stats.OutputRecords++
+		out.stats.OutputBytes += SizeOf(key) + SizeOf(value)
+		return nil
+	}
 }
 
 // combine runs the job's combiner over each partition of one map task's

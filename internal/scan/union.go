@@ -1,0 +1,63 @@
+package scan
+
+// Shared-scan predicate union. When several co-submitted jobs scan the same
+// split-directories, the engine drives one cursor set for all of them: the
+// shared cursors push down the OR of the jobs' predicates (so group and
+// file pruning fire only where *no* job can match), and each job keeps its
+// own predicate as a residual that demultiplexes the shared record stream.
+// Evaluation of identical residuals is shared through EvalGroups, so N jobs
+// asking the same question cost one answer per record.
+
+// Union combines the predicates of co-scheduled jobs into one shared scan.
+type Union struct {
+	// Shared is the predicate the shared cursor set pushes down: the OR of
+	// the members' distinct predicates. It is nil when any member scans
+	// unfiltered — the shared scan must then surface every record.
+	Shared Predicate
+	// Residuals holds each member's demultiplexing predicate in member
+	// order (the member's original predicate). A nil residual accepts every
+	// record the shared scan surfaces.
+	Residuals []Predicate
+	// Columns is the union of the members' filter columns, in
+	// first-appearance order across members.
+	Columns []string
+	// EvalGroups maps each member to an evaluation-sharing group: members
+	// whose residuals render identically share one per-record verdict.
+	// -1 marks members with nil residuals.
+	EvalGroups []int
+	// NumGroups is the number of distinct evaluation groups.
+	NumGroups int
+}
+
+// NewUnion builds the union of per-member predicates (nil entries mean the
+// member scans unfiltered).
+func NewUnion(preds []Predicate) *Union {
+	u := &Union{
+		Residuals:  append([]Predicate(nil), preds...),
+		EvalGroups: make([]int, len(preds)),
+	}
+	unfiltered := false
+	var distinct []Predicate
+	groupOf := make(map[string]int)
+	for i, p := range preds {
+		if p == nil {
+			unfiltered = true
+			u.EvalGroups[i] = -1
+			continue
+		}
+		u.Columns = p.Columns(u.Columns)
+		key := p.String()
+		g, ok := groupOf[key]
+		if !ok {
+			g = len(distinct)
+			groupOf[key] = g
+			distinct = append(distinct, p)
+		}
+		u.EvalGroups[i] = g
+	}
+	u.NumGroups = len(distinct)
+	if !unfiltered && len(distinct) > 0 {
+		u.Shared = Or(distinct...)
+	}
+	return u
+}

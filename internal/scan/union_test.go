@@ -1,0 +1,106 @@
+package scan
+
+import "testing"
+
+func TestUnionSharedIsOrOfDistinct(t *testing.T) {
+	a := Le("int0", 100)
+	b := Gt("str0", "m")
+	u := NewUnion([]Predicate{a, b, Le("int0", 100)})
+	if u.Shared == nil {
+		t.Fatal("shared predicate is nil")
+	}
+	want := Or(a, b).String()
+	if got := u.Shared.String(); got != want {
+		t.Fatalf("shared = %s, want %s", got, want)
+	}
+	if u.NumGroups != 2 {
+		t.Fatalf("NumGroups = %d, want 2", u.NumGroups)
+	}
+	if u.EvalGroups[0] != u.EvalGroups[2] {
+		t.Fatalf("identical predicates got distinct eval groups %v", u.EvalGroups)
+	}
+	if u.EvalGroups[0] == u.EvalGroups[1] {
+		t.Fatalf("distinct predicates share eval group %v", u.EvalGroups)
+	}
+	wantCols := []string{"int0", "str0"}
+	if len(u.Columns) != len(wantCols) {
+		t.Fatalf("Columns = %v, want %v", u.Columns, wantCols)
+	}
+	for i, c := range wantCols {
+		if u.Columns[i] != c {
+			t.Fatalf("Columns = %v, want %v", u.Columns, wantCols)
+		}
+	}
+}
+
+func TestUnionSingleMemberKeepsPredicate(t *testing.T) {
+	p := Between("int0", 1, 10)
+	u := NewUnion([]Predicate{p})
+	if u.Shared != p {
+		t.Fatalf("single-member shared = %v, want the member's own predicate", u.Shared)
+	}
+	if u.Residuals[0] != p {
+		t.Fatal("residual is not the member predicate")
+	}
+}
+
+func TestUnionUnfilteredMemberDisablesPushdown(t *testing.T) {
+	u := NewUnion([]Predicate{Le("int0", 100), nil})
+	if u.Shared != nil {
+		t.Fatalf("shared = %v with an unfiltered member, want nil", u.Shared)
+	}
+	if u.EvalGroups[1] != -1 {
+		t.Fatalf("unfiltered member eval group = %d, want -1", u.EvalGroups[1])
+	}
+	if u.Residuals[0] == nil {
+		t.Fatal("filtered member lost its residual")
+	}
+}
+
+func TestEstimateFraction(t *testing.T) {
+	stats := func(col string) *ColStats {
+		switch col {
+		case "x": // uniform [0, 100], no nulls
+			return &ColStats{Rows: 1000, HasMinMax: true, Min: int64(0), Max: int64(100), Distinct: 64, DistinctCapped: true}
+		case "n": // half null
+			return &ColStats{Rows: 1000, Nulls: 500}
+		}
+		return nil
+	}
+	cases := []struct {
+		pred   Predicate
+		lo, hi float64
+	}{
+		{Le("x", int64(50)), 0.4, 0.6},
+		{Gt("x", int64(75)), 0.15, 0.35},
+		{Between("x", int64(25), int64(75)), 0.4, 0.6},
+		{Le("x", int64(200)), 1, 1},  // MatchAll: bounds prove every row matches
+		{Gt("x", int64(200)), 0, 0},  // Prune: bounds prove no row matches
+		{Eq("x", int64(7)), 0, 0.05}, // 1/Distinct
+		{IsNull("n"), 0.5, 0.5},
+		{NotNull("n"), 0.5, 0.5},
+		{And(Le("x", int64(50)), Gt("x", int64(25))), 0.05, 0.45},
+		{Or(Le("x", int64(25)), Gt("x", int64(75))), 0.3, 0.7},
+		{nil, 1, 1},
+	}
+	for _, c := range cases {
+		f := EstimateFraction(c.pred, stats)
+		name := "nil"
+		if c.pred != nil {
+			name = c.pred.String()
+		}
+		if f < c.lo || f > c.hi {
+			t.Errorf("EstimateFraction(%s) = %.3f, want in [%.2f, %.2f]", name, f, c.lo, c.hi)
+		}
+	}
+}
+
+func TestEstimateRowsScales(t *testing.T) {
+	stats := func(string) *ColStats {
+		return &ColStats{Rows: 100, HasMinMax: true, Min: int64(0), Max: int64(100)}
+	}
+	rows := EstimateRows(Le("x", int64(10)), stats, 10000)
+	if rows < 500 || rows > 2000 {
+		t.Fatalf("EstimateRows = %.0f, want ~1000", rows)
+	}
+}

@@ -169,6 +169,15 @@ type TaskStats struct {
 	// split-directory irrelevant, so no group index was built and no data
 	// byte was read.
 	FilesPruned int64
+	// SharedReads is the number of member-job column cursors a shared scan
+	// served from an already-open cursor instead of a fresh one: a column
+	// stream read for k co-scheduled jobs counts k-1. Attributed once, on
+	// the shared cursor set's stats — never on the member jobs'.
+	SharedReads int64
+	// BytesSaved is the charged bytes co-scheduling avoided: each shared
+	// column stream's charged bytes times the additional member jobs it
+	// served. Like SharedReads it is attributed once, on the shared stats.
+	BytesSaved int64
 }
 
 // Add accumulates o into s.
@@ -183,6 +192,8 @@ func (s *TaskStats) Add(o TaskStats) {
 	s.RecordsFiltered += o.RecordsFiltered
 	s.SplitsPruned += o.SplitsPruned
 	s.FilesPruned += o.FilesPruned
+	s.SharedReads += o.SharedReads
+	s.BytesSaved += o.BytesSaved
 }
 
 // Scale multiplies every counter by k.
@@ -197,6 +208,8 @@ func (s *TaskStats) Scale(k float64) {
 	s.RecordsFiltered = scaleInt(s.RecordsFiltered, k)
 	s.SplitsPruned = scaleInt(s.SplitsPruned, k)
 	s.FilesPruned = scaleInt(s.FilesPruned, k)
+	s.SharedReads = scaleInt(s.SharedReads, k)
+	s.BytesSaved = scaleInt(s.BytesSaved, k)
 }
 
 func scaleInt(v int64, k float64) int64 {
