@@ -223,6 +223,7 @@ func BenchmarkCrawlJobCIFLazy(b *testing.B) {
 				}
 				return nil
 			}),
+			Output: NullOutput{},
 		}
 		if _, err := RunJob(fs, job); err != nil {
 			b.Fatal(err)

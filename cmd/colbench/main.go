@@ -49,6 +49,8 @@ var experiments = []struct {
 		func(c bench.Config) error { _, err := bench.Elision(c); return err }},
 	{"sharedscan", "shared scan sweep: co-scheduled batches vs independent runs (1/2/4/8 jobs)",
 		func(c bench.Config) error { _, err := bench.SharedScan(c); return err }},
+	{"cachereuse", "cache reuse sweep: one session resubmitting a job vs cold runs",
+		func(c bench.Config) error { _, err := bench.CacheReuse(c); return err }},
 	{"skiplevels", "ablation: skip-list level configuration",
 		func(c bench.Config) error { _, err := bench.AblationSkipLevels(c); return err }},
 	{"parallelism", "ablation: split granularity vs cluster parallelism (§4.3)",

@@ -13,10 +13,16 @@
 // (mapred.RunBatch) — and prints per-job and shared-read statistics next to
 // the cost of running each job solo.
 //
+// A -cache budget additionally runs the clauses through one long-lived
+// mapred.Session, one Submit/Wait round per clause: later rounds reuse the
+// column regions earlier rounds charged, and the table reports
+// CacheHits/BytesFromCache per round next to the shared-read stats.
+//
 // Usage:
 //
 //	colscan [-workload synthetic|crawl] [-records N] [-columns url,metadata]
-//	        [-where 'prefix(url, "http://ibm.com")' [-where ...]] [-lazy] [-seed N]
+//	        [-where 'prefix(url, "http://ibm.com")' [-where ...]] [-lazy]
+//	        [-cache BYTES] [-seed N]
 package main
 
 import (
@@ -64,6 +70,7 @@ func main() {
 		columns = flag.String("columns", "", "comma-separated projection (empty = all columns)")
 		lazy    = flag.Bool("lazy", false, "use lazy record construction for CIF")
 		elide   = flag.Bool("elide", true, "let CIF drop split-directories from footer statistics before scheduling")
+		cache   = flag.Int64("cache", 0, "session scan-cache budget in bytes; runs the -where clauses as rounds of one cache-backed session")
 		seed    = flag.Int64("seed", 2011, "generator seed")
 	)
 	flag.Var(&wheres, "where", `selection predicate, e.g. 'int0 <= 100 && prefix(str0, "ab")'; repeat to run a shared batch`)
@@ -252,25 +259,29 @@ func main() {
 	if len(preds) > 1 {
 		batchScan(fs, model, "/s/cif", proj, preds, *lazy, *elide)
 	}
+
+	// With a cache budget, run the clauses again as successive rounds of
+	// one long-lived session — cross-batch reuse instead of co-submission.
+	if *cache > 0 && len(preds) > 0 {
+		sessionScan(fs, model, "/s/cif", proj, preds, *lazy, *elide, *cache)
+	}
+}
+
+// cifJob builds one map-only CIF job over the dataset through the typed
+// builder.
+func cifJob(dataset string, proj []string, p scan.Predicate, lazy, elide bool) *mapred.Job {
+	return core.ScanDataset(dataset).
+		Columns(proj...).
+		Where(p).
+		Lazy(lazy).
+		Elide(elide).
+		Job(mapred.MapperFunc(func(_, _ any, _ mapred.Emit) error { return nil }))
 }
 
 // batchScan runs one map-only CIF job per predicate, solo and co-scheduled,
 // printing per-job logical accounting and the batch's shared-read savings.
 func batchScan(fs *hdfs.FileSystem, model sim.CostModel, dataset string, proj []string, preds []scan.Predicate, lazy, elide bool) {
-	job := func(p scan.Predicate) *mapred.Job {
-		conf := mapred.JobConf{InputPaths: []string{dataset}}
-		if proj != nil {
-			core.SetColumns(&conf, proj...)
-		}
-		core.SetLazy(&conf, lazy)
-		scan.SetPredicate(&conf, p)
-		scan.SetElision(&conf, elide)
-		return &mapred.Job{
-			Conf:   conf,
-			Input:  &core.InputFormat{},
-			Mapper: mapred.MapperFunc(func(_, _ any, _ mapred.Emit) error { return nil }),
-		}
-	}
+	job := func(p scan.Predicate) *mapred.Job { return cifJob(dataset, proj, p, lazy, elide) }
 
 	var soloCharged int64
 	var soloSeconds float64
@@ -317,6 +328,52 @@ func batchScan(fs *hdfs.FileSystem, model sim.CostModel, dataset string, proj []
 	fmt.Printf("batch: charged %.2f MB, modeled %.3fs — %d cursor opens avoided, %.2f MB saved (%s)\n",
 		float64(br.ChargedBytes())/(1<<20), model.ScanSeconds(batchStats),
 		br.Shared.SharedReads, float64(br.Shared.BytesSaved)/(1<<20), reduction)
+}
+
+// sessionScan runs each predicate as one Submit/Wait round of a long-lived
+// session with the given cache budget — cross-batch reuse, no co-submission
+// — printing per-round cache statistics next to the cost of a cold run.
+func sessionScan(fs *hdfs.FileSystem, model sim.CostModel, dataset string, proj []string, preds []scan.Predicate, lazy, elide bool, cacheBytes int64) {
+	session := mapred.NewSession(fs, mapred.SessionOptions{CacheBytes: cacheBytes})
+
+	fmt.Printf("\ncached CIF session: %d rounds, %d MB cache budget\n\n", len(preds), cacheBytes>>20)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "round\twhere\tmatched\tcold charged MB\twarm charged MB\tcache hits\tfrom cache MB\tmodeled")
+	var coldTotal, warmTotal int64
+	for i, p := range preds {
+		cold, err := mapred.Run(fs, cifJob(dataset, proj, p, lazy, elide))
+		check(err)
+		pend := session.Submit(cifJob(dataset, proj, p, lazy, elide))
+		br, err := session.Wait()
+		check(err)
+		warm, err := pend.Result()
+		check(err)
+		if warm.Total.RecordsProcessed != cold.Total.RecordsProcessed {
+			fmt.Fprintf(os.Stderr, "colscan: round %d matched %d cached but %d cold\n",
+				i, warm.Total.RecordsProcessed, cold.Total.RecordsProcessed)
+			os.Exit(1)
+		}
+		hits, fromCache := mapred.CacheStats(br)
+		coldTotal += cold.Total.IO.TotalChargedBytes()
+		warmTotal += warm.Total.IO.TotalChargedBytes()
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%.2f\t%.2f\t%d\t%.2f\t%.3fs\n",
+			i, p, warm.Total.RecordsProcessed,
+			float64(cold.Total.IO.TotalChargedBytes())/(1<<20),
+			float64(warm.Total.IO.TotalChargedBytes())/(1<<20),
+			hits, float64(fromCache)/(1<<20),
+			model.ScanSeconds(warm.Total))
+	}
+	tw.Flush()
+	resident, regions := session.CacheUsage()
+	reduction := "nothing charged in either mode"
+	if warmTotal > 0 {
+		reduction = fmt.Sprintf("%.1fx charged reduction", float64(coldTotal)/float64(warmTotal))
+	} else if coldTotal > 0 {
+		reduction = "every warm byte served from cache"
+	}
+	fmt.Printf("\nsession: cold %.2f MB vs warm %.2f MB (%s); cache resident %.2f MB in %d regions\n",
+		float64(coldTotal)/(1<<20), float64(warmTotal)/(1<<20), reduction,
+		float64(resident)/(1<<20), regions)
 }
 
 func check(err error) {

@@ -142,6 +142,29 @@ type (
 // RunJob executes a MapReduce job and returns its work counters.
 func RunJob(fs *FileSystem, job *Job) (*JobResult, error) { return mapred.Run(fs, job) }
 
+// The typed query API. A ScanSpec carries a job's whole scan contract —
+// projection, predicate, materialization mode, elision, task sizing — as
+// one first-class value on JobConf.Scan; the planner and readers consume it
+// directly. ScanDataset starts the fluent builder:
+//
+//	job := colmr.ScanDataset("/data/visits").
+//		Columns("url", "fetchTime").
+//		Where(colmr.HasPrefix("url", "http://www.ibm.com")).
+//		Lazy(true).
+//		Job(mapper)
+//
+// The SetColumns/SetPredicate/SetLazy/SetElision free functions below are
+// compatibility wrappers that populate the same spec.
+type (
+	// ScanSpec is the typed scan specification (scan.Spec).
+	ScanSpec = scan.Spec
+	// ScanBuilder fluently assembles a ScanSpec, JobConf, or Job.
+	ScanBuilder = core.ScanBuilder
+)
+
+// ScanDataset starts a typed scan over one or more CIF datasets.
+func ScanDataset(paths ...string) *ScanBuilder { return core.ScanDataset(paths...) }
+
 // Shared scans — the batch engine. Co-submitted jobs over the same CIF
 // datasets are planned together: one map task runs per shared
 // split-directory group, a single cursor set reads the union of the jobs'
@@ -162,6 +185,24 @@ type (
 
 // NewEngine returns a batch engine over the filesystem.
 func NewEngine(fs *FileSystem) *Engine { return mapred.NewEngine(fs) }
+
+// Long-lived sessions — the engine plus cross-batch scan caching. A
+// Session retains an LRU-bounded cache of column-file regions keyed by
+// (file, generation, region) across Submit/Wait rounds, so a steady stream
+// of jobs over the same datasets reuses hot reads without co-submission;
+// TaskStats.CacheHits and BytesFromCache report the reuse. With CacheBytes
+// 0 a Session is byte-for-byte an Engine. Generations make stale hits
+// impossible: reloading a dataset orphans its old cache entries, and
+// AddColumn (new files beside untouched ones) invalidates nothing.
+type (
+	// Session is the long-lived query front end (mapred.Session).
+	Session = mapred.Session
+	// SessionOptions configures a session's cache budget.
+	SessionOptions = mapred.SessionOptions
+)
+
+// NewSession returns a session over the filesystem.
+func NewSession(fs *FileSystem, opts SessionOptions) *Session { return mapred.NewSession(fs, opts) }
 
 // RunBatch executes the jobs as one batch, sharing scans where their
 // planned split sets intersect.
@@ -211,10 +252,12 @@ func NewColumnWriter(fs *FileSystem, dataset string, schema *Schema, opts LoadOp
 }
 
 // SetColumns pushes a column projection into CIF for a job — the paper's
-// ColumnInputFormat.setColumns.
+// ColumnInputFormat.setColumns. Compatibility wrapper over
+// ScanSpec.Columns; prefer ScanDataset(...).Columns(...).
 func SetColumns(conf *JobConf, columns ...string) { core.SetColumns(conf, columns...) }
 
-// SetLazy selects lazy record construction for a CIF job.
+// SetLazy selects lazy record construction for a CIF job. Compatibility
+// wrapper over ScanSpec.Lazy; prefer ScanDataset(...).Lazy(...).
 func SetLazy(conf *JobConf, lazy bool) { core.SetLazy(conf, lazy) }
 
 // Selection pushdown — the scan subsystem (internal/scan). A Predicate
@@ -229,7 +272,8 @@ func SetLazy(conf *JobConf, lazy bool) { core.SetLazy(conf, lazy) }
 type Predicate = scan.Predicate
 
 // SetPredicate pushes a selection predicate into CIF for a job — the
-// selection analogue of SetColumns.
+// selection analogue of SetColumns. Compatibility wrapper over
+// ScanSpec.Predicate; prefer ScanDataset(...).Where(...).
 func SetPredicate(conf *JobConf, p Predicate) { scan.SetPredicate(conf, p) }
 
 // PruneReport summarizes the scheduler tier's split-elision decisions for
@@ -241,6 +285,8 @@ type PruneReport = scan.PruneReport
 // (default on). Elision never changes which records qualify — only how
 // many splits are scheduled; disabling it restores reader-side
 // group pruning alone, which is useful for comparisons and debugging.
+// Compatibility wrapper over ScanSpec.NoElide; prefer
+// ScanDataset(...).Elide(...).
 func SetElision(conf *JobConf, on bool) { scan.SetElision(conf, on) }
 
 // ParsePredicate reads a predicate from the scan expression language,
@@ -322,6 +368,9 @@ type (
 	// SharedScanResult is the shared-scan sweep: co-scheduled batches vs
 	// independent runs (internal/bench/sharedscan.go).
 	SharedScanResult = bench.SharedScanResult
+	// CacheReuseResult is the cross-batch caching sweep: one session
+	// resubmitting a job vs cold runs (internal/bench/cachereuse.go).
+	CacheReuseResult = bench.CacheReuseResult
 )
 
 // DefaultExperimentConfig returns the standard experiment configuration;
@@ -355,6 +404,11 @@ func RunElision(cfg ExperimentConfig) (*ElisionResult, error) { return bench.Eli
 // disjoint predicates) and compares co-scheduled shared scans against
 // independent runs.
 func RunSharedScan(cfg ExperimentConfig) (*SharedScanResult, error) { return bench.SharedScan(cfg) }
+
+// RunCacheReuse resubmits one job round after round to a long-lived Session
+// and compares its charged bytes against cold runs — the cross-batch scan
+// cache at work.
+func RunCacheReuse(cfg ExperimentConfig) (*CacheReuseResult, error) { return bench.CacheReuse(cfg) }
 
 // Ablation results for the design choices and for the paper's deferred
 // future work (re-replication after failures, split-granularity

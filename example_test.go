@@ -49,6 +49,7 @@ func Example() {
 			}
 			return nil
 		}),
+		Output: colmr.NullOutput{},
 	}
 	if _, err := colmr.RunJob(fs, job); err != nil {
 		log.Fatal(err)

@@ -71,6 +71,7 @@ func main() {
 				}
 				return nil
 			}),
+			Output: colmr.NullOutput{},
 		}
 		res, err := colmr.RunJob(fs, job)
 		if err != nil {

@@ -1,6 +1,7 @@
 // Quickstart: the full CIF/COF cycle in one file — define a schema, load
 // records into column-oriented storage on a simulated HDFS cluster with
-// co-located placement, and run a projected MapReduce job over it.
+// co-located placement, and query it with the typed builder API
+// (projection + predicate pushdown) through a long-lived cached session.
 package main
 
 import (
@@ -50,40 +51,39 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Query with projection pushdown: only url and status files are read;
-	// the headers column is never touched.
-	conf := colmr.JobConf{
-		InputPaths:  []string{"/data/visits"},
-		OutputPath:  "/out/errors",
-		NumReducers: 1,
-	}
-	colmr.SetColumns(&conf, "url", "status")
-
-	job := &colmr.Job{
-		Conf:  conf,
-		Input: &colmr.ColumnInputFormat{},
-		Mapper: colmr.MapperFunc(func(key, value any, emit colmr.Emit) error {
-			rec := value.(colmr.Record)
-			status, err := rec.Get("status")
-			if err != nil {
-				return err
-			}
-			if status.(int32) != 404 {
-				return nil
-			}
-			url, err := rec.Get("url")
+	// Query through the typed builder: the projection means only the url
+	// and status files are opened (the headers column is never touched),
+	// and the predicate is pushed below record materialization — zone-map
+	// statistics prune whole record groups of non-404 rows.
+	job := colmr.ScanDataset("/data/visits").
+		Columns("url", "status").
+		Where(colmr.Eq("status", int32(404))).
+		Job(colmr.MapperFunc(func(key, value any, emit colmr.Emit) error {
+			url, err := value.(colmr.Record).Get("url")
 			if err != nil {
 				return err
 			}
 			return emit(url, nil)
-		}),
-		Reducer: colmr.ReducerFunc(func(key any, values []any, emit colmr.Emit) error {
-			return emit(key, nil)
-		}),
-		Output: colmr.TextOutput{},
-	}
+		}))
+	job.Conf.OutputPath = "/out/errors"
+	job.Conf.NumReducers = 1
+	job.Reducer = colmr.ReducerFunc(func(key any, values []any, emit colmr.Emit) error {
+		return emit(key, nil)
+	})
+	job.Output = colmr.TextOutput{}
 
-	res, err := colmr.RunJob(fs, job)
+	// The pre-builder spelling still works and produces the identical
+	// typed ScanSpec on the conf:
+	//
+	//	conf := colmr.JobConf{InputPaths: []string{"/data/visits"}}
+	//	colmr.SetColumns(&conf, "url", "status")
+	//	colmr.SetPredicate(&conf, colmr.Eq("status", int32(404)))
+
+	// For a steady stream of queries, run jobs through a long-lived
+	// Session instead of RunJob: an LRU-bounded cache keeps hot column
+	// regions resident across rounds (TaskStats.CacheHits reports reuse).
+	session := colmr.NewSession(fs, colmr.SessionOptions{CacheBytes: 64 << 20})
+	res, err := session.Run(job)
 	if err != nil {
 		log.Fatal(err)
 	}

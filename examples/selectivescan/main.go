@@ -77,6 +77,7 @@ func main() {
 				matches++
 				return sumMap(rec, &sum)
 			}),
+			Output: colmr.NullOutput{},
 		}
 		res, err := colmr.RunJob(fs, job)
 		if err != nil {
@@ -100,6 +101,7 @@ func main() {
 				matches++
 				return sumMap(value.(colmr.Record), &sum)
 			}),
+			Output: colmr.NullOutput{},
 		}
 		res, err := colmr.RunJob(fs, job)
 		if err != nil {

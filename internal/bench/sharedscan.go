@@ -96,6 +96,7 @@ func sharedScanJob(dataset string, pred scan.Predicate) *mapred.Job {
 			_, err := v.(serde.Record).Get("str0")
 			return err
 		}),
+		Output: mapred.NullOutput{},
 	}
 }
 

@@ -18,17 +18,52 @@ import (
 //	ColumnInputFormat.setColumns(job, "url, metadata");
 //
 // from Section 4.2. Only the named columns' files will be opened.
+//
+// SetColumns is the compatibility wrapper over the typed scan spec: it
+// populates Spec.Columns and clears any lingering serialized prop. New code
+// should prefer the builder (ScanDataset).
 func SetColumns(conf *mapred.JobConf, columns ...string) {
-	conf.Set(ColumnsProp, strings.Join(columns, ","))
+	conf.ScanSpec().Columns = append([]string(nil), columns...)
+	conf.Del(ColumnsProp)
 }
 
-// SetLazy selects lazy record construction for a job (Section 5).
+// SetLazy selects lazy record construction for a job (Section 5) — the
+// compatibility wrapper over Spec.Lazy.
 func SetLazy(conf *mapred.JobConf, lazy bool) {
-	if lazy {
-		conf.Set(LazyProp, "true")
-	} else {
-		conf.Set(LazyProp, "false")
+	conf.ScanSpec().Lazy = lazy
+	conf.Del(LazyProp)
+}
+
+// resolveSpec returns a job's effective scan spec: the typed spec's fields
+// are authoritative, and leftover legacy string props fill only the fields
+// never touched through the typed API. Every wrapper deletes its own prop
+// when it writes the typed field, so a prop still present was set by a
+// string-side caller (colscan -where style) and keeps working even after
+// some other setting went typed — calling SetLazy must not silently drop a
+// predicate that arrived as a serialized prop. Downstream of here nothing
+// re-parses props.
+func resolveSpec(conf *mapred.JobConf) (scan.Spec, error) {
+	var spec scan.Spec
+	if conf.Scan != nil {
+		spec = *conf.Scan
 	}
+	if len(spec.Columns) == 0 {
+		spec.Columns = propColumns(conf)
+	}
+	if spec.Predicate == nil {
+		pred, err := scan.FromConf(conf)
+		if err != nil {
+			return spec, err
+		}
+		spec.Predicate = pred
+	}
+	if !spec.Lazy {
+		spec.Lazy = conf.Get(LazyProp) == "true"
+	}
+	if !spec.NoElide {
+		spec.NoElide = !scan.ElisionFromConf(conf)
+	}
+	return spec, nil
 }
 
 // Split is a CIF split: one or more whole split-directories.
@@ -156,7 +191,7 @@ func (f *InputFormat) plannedSplits(fs *hdfs.FileSystem, conf *mapred.JobConf, a
 	}
 	var out []mapred.Split
 	for _, ds := range plan.datasets {
-		per := f.splitSize(fs, plan.pred, ds.kept)
+		per := f.splitSize(fs, plan.dps, plan.pred, ds.kept)
 		for i := 0; i < len(ds.kept); i += per {
 			j := i + per
 			if j > len(ds.kept) {
@@ -176,6 +211,7 @@ type dirPlan struct {
 	columns  []string // locality columns: projection plus filter columns
 	pred     scan.Predicate
 	elide    bool
+	dps      int // resolved directories-per-split (spec overrides format)
 	report   scan.PruneReport
 }
 
@@ -193,22 +229,24 @@ type datasetDirs struct {
 // per-job elision accounting in a batch identical to a solo run.
 func (f *InputFormat) planDirs(fs *hdfs.FileSystem, conf *mapred.JobConf, allowElide bool) (dirPlan, error) {
 	var plan dirPlan
-	columns := projection(conf)
-	pred, err := scan.FromConf(conf)
+	spec, err := resolveSpec(conf)
 	if err != nil {
 		return plan, err
 	}
+	columns := spec.Columns
+	pred := spec.Predicate
 	planner := scan.NewPlanner(pred)
 	// Locality ranks by the files a map task will actually open: the
 	// projection plus any filter-only predicate columns (Columns dedups
 	// against the slice it extends).
 	if pred != nil && len(columns) > 0 {
-		columns = pred.Columns(columns)
+		columns = pred.Columns(append([]string(nil), columns...))
 	}
 	plan.pred = pred
 	plan.columns = columns
+	plan.dps = f.dirsPerSplit(spec)
 	plan.report = scan.PruneReport{Columns: planner.FilterColumns()}
-	plan.elide = allowElide && pred != nil && scan.ElisionFromConf(conf)
+	plan.elide = allowElide && pred != nil && spec.Elide()
 	for _, dataset := range conf.InputPaths {
 		dirs, err := listSplitDirs(fs, dataset)
 		if err != nil {
@@ -231,16 +269,25 @@ func (f *InputFormat) planDirs(fs *hdfs.FileSystem, conf *mapred.JobConf, allowE
 	return plan, nil
 }
 
-// splitSize resolves the directories-per-split for one run of directories:
-// the configured constant, or the selectivity-estimated size in auto mode.
-func (f *InputFormat) splitSize(fs *hdfs.FileSystem, pred scan.Predicate, dirs []string) int {
-	if f.DirsPerSplit == AutoDirsPerSplit {
-		return autoDirsPerSplit(fs, pred, dirs)
-	}
-	if f.DirsPerSplit < 1 {
-		return 1
+// dirsPerSplit resolves the directories-per-split setting for one job: the
+// spec's value when set, else the format's own field.
+func (f *InputFormat) dirsPerSplit(spec scan.Spec) int {
+	if spec.DirsPerSplit != 0 {
+		return spec.DirsPerSplit
 	}
 	return f.DirsPerSplit
+}
+
+// splitSize resolves the directories-per-split for one run of directories:
+// the configured constant, or the selectivity-estimated size in auto mode.
+func (f *InputFormat) splitSize(fs *hdfs.FileSystem, dps int, pred scan.Predicate, dirs []string) int {
+	if dps == AutoDirsPerSplit {
+		return autoDirsPerSplit(fs, pred, dirs)
+	}
+	if dps < 1 {
+		return 1
+	}
+	return dps
 }
 
 // autoDirsPerSplit sizes splits so each map task covers roughly one
@@ -368,7 +415,8 @@ func pruneSplitDir(fs *hdfs.FileSystem, dir string, planner *scan.Planner, repor
 	return pruned
 }
 
-func projection(conf *mapred.JobConf) []string {
+// propColumns parses a specless conf's legacy projection prop.
+func propColumns(conf *mapred.JobConf) []string {
 	raw := strings.TrimSpace(conf.Get(ColumnsProp))
 	if raw == "" {
 		return nil
@@ -392,19 +440,18 @@ func (f *InputFormat) Open(fs *hdfs.FileSystem, conf *mapred.JobConf, split mapr
 	if len(csplit.Dirs) == 0 {
 		return nil, fmt.Errorf("core: empty split")
 	}
-	columns := projection(conf)
-	if columns == nil {
-		columns = csplit.Columns
-	}
-	lazy := conf.Get(LazyProp) == "true"
-	pred, err := scan.FromConf(conf)
+	spec, err := resolveSpec(conf)
 	if err != nil {
 		return nil, err
 	}
+	columns := spec.Columns
+	if len(columns) == 0 {
+		columns = csplit.Columns
+	}
 	// The reader's file tier runs only for splits the scheduler has not
 	// already judged (and not at all when elision is disabled).
-	fileTier := scan.ElisionFromConf(conf) && !csplit.Judged
-	return newReader(fs, csplit.Dirs, columns, lazy, pred, fileTier, node, stats)
+	fileTier := spec.Elide() && !csplit.Judged
+	return newReader(fs, csplit.Dirs, columns, spec.Lazy, spec.Predicate, fileTier, conf.Cache, node, stats)
 }
 
 // Reader iterates the records of a CIF split. It is also usable directly
@@ -424,6 +471,9 @@ type Reader struct {
 	// owns the predicate; it shares one implementation with the split
 	// scheduler (internal/scan).
 	planner *scan.Planner
+	// cache is the session's cross-batch scan cache (nil outside a caching
+	// Session); attached to every column-file stream this reader opens.
+	cache *hdfs.ScanCache
 
 	schema  *serde.Schema // full dataset schema
 	proj    *serde.Schema // projected record schema
@@ -463,7 +513,7 @@ type cursor struct {
 	cachedPos int64
 }
 
-func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, pred scan.Predicate, elide bool, node hdfs.NodeID, stats *sim.TaskStats) (*Reader, error) {
+func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, pred scan.Predicate, elide bool, cache *hdfs.ScanCache, node hdfs.NodeID, stats *sim.TaskStats) (*Reader, error) {
 	schema, err := readSplitSchema(fs, dirs[0])
 	if err != nil {
 		return nil, err
@@ -496,6 +546,7 @@ func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, 
 		lazy:           lazy,
 		elide:          elide,
 		planner:        scan.NewPlanner(pred),
+		cache:          cache,
 		schema:         schema,
 		proj:           proj,
 		columns:        columns,
@@ -590,6 +641,9 @@ func (r *Reader) openDir(dir string) (pruned bool, err error) {
 		hr := files[i]
 		if r.stats != nil {
 			hr.SetStats(&r.stats.IO)
+		}
+		if r.cache != nil {
+			hr.SetCache(r.cache, r.stats)
 		}
 		opts := ropts
 		if collide > 0 {

@@ -33,7 +33,9 @@ import (
 // underscore keeps it disjoint from column names, which are identifiers.
 const SchemaFile = "_schema"
 
-// Job configuration properties interpreted by CIF.
+// Legacy job configuration properties interpreted by CIF — the
+// serialization format for string-typed inputs, consulted only when the
+// conf carries no typed scan.Spec (see resolveSpec in cif.go).
 const (
 	// ColumnsProp holds the comma-separated column projection.
 	ColumnsProp = "cif.columns"

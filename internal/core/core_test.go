@@ -406,6 +406,7 @@ func TestDefaultPlacementCausesRemoteReads(t *testing.T) {
 		Conf:   conf,
 		Input:  &InputFormat{},
 		Mapper: mapred.MapperFunc(func(k, v any, e mapred.Emit) error { return nil }),
+		Output: mapred.NullOutput{},
 	}
 	res, err := mapred.Run(fs, job)
 	if err != nil {

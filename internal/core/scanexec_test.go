@@ -254,8 +254,9 @@ func TestPredicateViaJob(t *testing.T) {
 	scan.SetPredicate(&conf, pred)
 	var seen int
 	job := &mapred.Job{
-		Conf:  conf,
-		Input: &InputFormat{},
+		Conf:   conf,
+		Output: mapred.NullOutput{},
+		Input:  &InputFormat{},
 		Mapper: mapred.MapperFunc(func(_, value any, emit mapred.Emit) error {
 			rec := value.(serde.Record)
 			url, err := rec.Get("url")
@@ -265,7 +266,6 @@ func TestPredicateViaJob(t *testing.T) {
 			seen++
 			return emit(url, int64(1))
 		}),
-		Output: &mapred.NullOutput{},
 	}
 	res, err := mapred.Run(fs, job)
 	if err != nil {
@@ -324,8 +324,9 @@ func TestElisionInJobStats(t *testing.T) {
 		conf.InputPaths = []string{"/data/crawl"}
 		scan.SetElision(conf, elide)
 		res, err := mapred.Run(fs, &mapred.Job{
-			Conf:  *conf,
-			Input: &InputFormat{},
+			Conf:   *conf,
+			Output: mapred.NullOutput{},
+			Input:  &InputFormat{},
 			Mapper: mapred.MapperFunc(func(_, value any, emit mapred.Emit) error {
 				url, err := value.(serde.Record).Get("url")
 				if err != nil {

@@ -93,7 +93,10 @@ func (f *InputFormat) SharedSplits(fs *hdfs.FileSystem, confs []*mapred.JobConf)
 				runPreds[k] = plans[m].pred
 			}
 			union := scan.NewUnion(runPreds)
-			per := f.splitSize(fs, union.Shared, run)
+			// The run's task sizing follows the first member's resolved
+			// directories-per-split; the batch scheduler only groups jobs
+			// whose sizing agrees.
+			per := f.splitSize(fs, plans[ms[0]].dps, union.Shared, run)
 			cols := unionColumns(plans, ms)
 			for a := 0; a < len(run); a += per {
 				b := a + per
@@ -175,7 +178,16 @@ func (f *InputFormat) OpenShared(fs *hdfs.FileSystem, confs []*mapred.JobConf, s
 	preds := make([]scan.Predicate, len(members))
 	for k, mi := range members {
 		conf := confs[mi]
-		cols := projection(conf)
+		spec, err := resolveSpec(conf)
+		if err != nil {
+			return nil, err
+		}
+		if sr.cache == nil {
+			// All members of a session batch carry the same cache; take the
+			// first one present so hand-mixed batches still behave.
+			sr.cache = conf.Cache
+		}
+		cols := spec.Columns
 		proj := schema
 		if len(cols) > 0 {
 			if proj, err = schema.Project(cols...); err != nil {
@@ -184,10 +196,7 @@ func (f *InputFormat) OpenShared(fs *hdfs.FileSystem, confs []*mapred.JobConf, s
 		} else {
 			cols = schema.FieldNames()
 		}
-		pred, err := scan.FromConf(conf)
-		if err != nil {
-			return nil, err
-		}
+		pred := spec.Predicate
 		need := make(map[string]bool, len(cols))
 		for _, c := range cols {
 			need[c] = true
@@ -205,7 +214,7 @@ func (f *InputFormat) OpenShared(fs *hdfs.FileSystem, confs []*mapred.JobConf, s
 			proj:    proj,
 			columns: cols,
 			need:    need,
-			lazy:    conf.Get(LazyProp) == "true",
+			lazy:    spec.Lazy,
 			planner: scan.NewPlanner(pred),
 			stats:   memberStats[k],
 		}
@@ -261,6 +270,7 @@ type SharedReader struct {
 	fs      *hdfs.FileSystem
 	node    hdfs.NodeID
 	shared  *sim.TaskStats
+	cache   *hdfs.ScanCache
 	schema  *serde.Schema
 	members []*sharedMember
 	planner *scan.Planner // union predicate
@@ -362,6 +372,11 @@ func (sr *SharedReader) openDir(dir string) error {
 			return fmt.Errorf("core: opening column %q: %w", col, err)
 		}
 		hr.SetStats(&sr.colIO[i])
+		if sr.cache != nil {
+			// Hits are physical accounting, credited once to the shared
+			// stats like every other byte of the cursor set.
+			hr.SetCache(sr.cache, sr.shared)
+		}
 		opts := ropts
 		if collide > 0 {
 			hr := hr

@@ -1,0 +1,164 @@
+package hdfs
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// ScanCache is an LRU-bounded cache of column-file byte regions, the storage
+// side of a long-lived mapred.Session: regions a scan charged once stay
+// resident across batches, so a steady stream of jobs over the same datasets
+// re-reads hot columns from memory instead of the disk subsystem — the
+// serving-style reuse PowerDrill builds its interactivity on ("Processing a
+// Trillion Cells per Mouse Click", VLDB 2012).
+//
+// Granularity and keying. Entries are whole transfer units — the unit the
+// filesystem already charges I/O in — keyed by (file path, file generation,
+// unit offset). The generation is assigned by the namenode at file creation,
+// so a dataset rebuilt under the same paths (reload, Remove+Create) can
+// never serve stale bytes: its new files carry new generations and the old
+// entries age out of the LRU. AddColumn needs no invalidation at all — it
+// writes new files, and the untouched columns' cached regions remain
+// exactly valid.
+//
+// The cache stores no payload bytes. The simulated datanodes already hold
+// every block in memory; what a real cache would change — which reads reach
+// the disks — is precisely what the accounting model measures, so a hit
+// suppresses the region's local/remote byte charge and is counted in
+// sim.TaskStats.CacheHits / BytesFromCache instead. Seek accounting is left
+// untouched: the conservative model charges cursor movement whether or not
+// the bytes came from cache.
+//
+// ScanCache is safe for concurrent use by the engine's map-task workers. A
+// nil *ScanCache is valid and disables caching everywhere it is consulted.
+type ScanCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	ll      *list.List // front = most recently used
+	entries map[regionKey]*list.Element
+}
+
+// regionKey identifies one cached transfer unit of one file generation.
+type regionKey struct {
+	path string
+	gen  int64
+	off  int64
+}
+
+// region is one LRU entry; size is the unit's actual byte count (the final
+// unit of a file may be short).
+type region struct {
+	key  regionKey
+	size int64
+}
+
+// NewScanCache returns a cache bounded to budget bytes. A budget <= 0
+// returns nil: caching disabled, the zero-cost path everywhere.
+func NewScanCache(budget int64) *ScanCache {
+	if budget <= 0 {
+		return nil
+	}
+	return &ScanCache{
+		budget:  budget,
+		ll:      list.New(),
+		entries: make(map[regionKey]*list.Element),
+	}
+}
+
+// lookup reports whether the region is resident, marking it most recently
+// used when it is.
+func (c *ScanCache) lookup(key regionKey) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.ll.MoveToFront(el)
+	return true
+}
+
+// admit inserts a region, evicting least-recently-used entries until the
+// budget holds. A region larger than the whole budget is not admitted.
+func (c *ScanCache) admit(key regionKey, size int64) {
+	if c == nil || size <= 0 || size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.used+size > c.budget {
+		c.evictOldestLocked()
+	}
+	c.entries[key] = c.ll.PushFront(region{key: key, size: size})
+	c.used += size
+}
+
+func (c *ScanCache) evictOldestLocked() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	r := el.Value.(region)
+	c.ll.Remove(el)
+	delete(c.entries, r.key)
+	c.used -= r.size
+}
+
+// Invalidate drops every cached region of the file or dataset at prefix
+// (the path itself, or anything under it). File generations already protect
+// against stale reads; Invalidate exists to release the budget eagerly when
+// a dataset is known dead.
+func (c *ScanCache) Invalidate(prefix string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		r := el.Value.(region)
+		if r.key.path == prefix || strings.HasPrefix(r.key.path, prefix+"/") {
+			c.ll.Remove(el)
+			delete(c.entries, r.key)
+			c.used -= r.size
+		}
+		el = next
+	}
+}
+
+// Used returns the resident bytes.
+func (c *ScanCache) Used() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Regions returns the number of resident regions.
+func (c *ScanCache) Regions() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Budget returns the configured bound in bytes.
+func (c *ScanCache) Budget() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.budget
+}

@@ -1,0 +1,181 @@
+package hdfs
+
+import (
+	"testing"
+
+	"colmr/internal/sim"
+)
+
+func k(path string, gen, off int64) regionKey { return regionKey{path: path, gen: gen, off: off} }
+
+func TestScanCacheLRUBound(t *testing.T) {
+	c := NewScanCache(300)
+	for off := int64(0); off < 5; off++ {
+		c.admit(k("/d/s0/a", 1, off*100), 100)
+	}
+	// Budget holds three 100-byte regions: the two oldest were evicted.
+	if used, regions := c.Used(), c.Regions(); used != 300 || regions != 3 {
+		t.Fatalf("after overflow: used %d, regions %d, want 300, 3", used, regions)
+	}
+	for off := int64(0); off < 2; off++ {
+		if c.lookup(k("/d/s0/a", 1, off*100)) {
+			t.Errorf("evicted region at %d still resident", off*100)
+		}
+	}
+	for off := int64(2); off < 5; off++ {
+		if !c.lookup(k("/d/s0/a", 1, off*100)) {
+			t.Errorf("recent region at %d not resident", off*100)
+		}
+	}
+}
+
+func TestScanCacheLookupTouchesRecency(t *testing.T) {
+	c := NewScanCache(300)
+	c.admit(k("/f", 1, 0), 100)
+	c.admit(k("/f", 1, 100), 100)
+	c.admit(k("/f", 1, 200), 100)
+	// Touch the oldest, then overflow: the untouched middle region goes.
+	if !c.lookup(k("/f", 1, 0)) {
+		t.Fatal("region at 0 not resident")
+	}
+	c.admit(k("/f", 1, 300), 100)
+	if !c.lookup(k("/f", 1, 0)) {
+		t.Error("touched region at 0 was evicted")
+	}
+	if c.lookup(k("/f", 1, 100)) {
+		t.Error("least-recently-used region at 100 survived the overflow")
+	}
+}
+
+func TestScanCacheOversizedRegionRejected(t *testing.T) {
+	c := NewScanCache(100)
+	c.admit(k("/f", 1, 0), 200)
+	if c.Used() != 0 || c.lookup(k("/f", 1, 0)) {
+		t.Error("region larger than the whole budget was admitted")
+	}
+}
+
+func TestScanCacheGenerationsAreDistinct(t *testing.T) {
+	c := NewScanCache(1000)
+	c.admit(k("/f", 1, 0), 100)
+	if c.lookup(k("/f", 2, 0)) {
+		t.Error("generation 2 hit generation 1's region — stale read")
+	}
+	if !c.lookup(k("/f", 1, 0)) {
+		t.Error("generation 1's own region missing")
+	}
+}
+
+func TestScanCacheInvalidatePrefix(t *testing.T) {
+	c := NewScanCache(1000)
+	c.admit(k("/data/visits/s0/url", 1, 0), 100)
+	c.admit(k("/data/visits/s1/url", 2, 0), 100)
+	c.admit(k("/data/visitsold/s0/url", 3, 0), 100)
+	c.Invalidate("/data/visits")
+	if c.lookup(k("/data/visits/s0/url", 1, 0)) || c.lookup(k("/data/visits/s1/url", 2, 0)) {
+		t.Error("invalidated dataset still resident")
+	}
+	// Sibling with a shared name prefix but a different path component stays.
+	if !c.lookup(k("/data/visitsold/s0/url", 3, 0)) {
+		t.Error("sibling dataset was invalidated")
+	}
+	if c.Used() != 100 {
+		t.Errorf("used = %d after invalidation, want 100", c.Used())
+	}
+}
+
+func TestScanCacheNilIsDisabled(t *testing.T) {
+	var c *ScanCache
+	if c := NewScanCache(0); c != nil {
+		t.Error("budget 0 should return a nil cache")
+	}
+	c.admit(k("/f", 1, 0), 100) // must not panic
+	if c.lookup(k("/f", 1, 0)) || c.Used() != 0 || c.Regions() != 0 || c.Budget() != 0 {
+		t.Error("nil cache should be inert")
+	}
+	c.Invalidate("/f")
+}
+
+// TestFileReaderCacheCharging drives the cache through real reads: the
+// first pass charges and admits, the second charges nothing and credits the
+// cache counters, and the generation of a rebuilt file never hits its
+// predecessor's regions.
+func TestFileReaderCacheCharging(t *testing.T) {
+	cfg := sim.SingleNode()
+	fs := New(cfg, 1)
+	data := make([]byte, 3*cfg.TransferUnit+100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := fs.WriteFile("/f", data, AnyNode); err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewScanCache(1 << 30)
+	var gen int64
+	read := func() (sim.TaskStats, []byte) {
+		r, err := fs.Open("/f", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		gen = r.Generation()
+		var st sim.TaskStats
+		r.SetStats(&st.IO)
+		r.SetCache(cache, &st)
+		buf := make([]byte, len(data))
+		if _, err := r.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		return st, buf
+	}
+
+	cold, got := read()
+	if string(got) != string(data) {
+		t.Fatal("cold read returned wrong bytes")
+	}
+	if cold.IO.TotalChargedBytes() != int64(len(data)) {
+		t.Errorf("cold charged %d, want %d", cold.IO.TotalChargedBytes(), len(data))
+	}
+	if cold.CacheHits != 0 || cold.BytesFromCache != 0 {
+		t.Errorf("cold read hit the cache: %d hits, %d bytes", cold.CacheHits, cold.BytesFromCache)
+	}
+
+	warm, got := read()
+	if string(got) != string(data) {
+		t.Fatal("warm read returned wrong bytes")
+	}
+	if warm.IO.TotalChargedBytes() != 0 {
+		t.Errorf("warm charged %d, want 0", warm.IO.TotalChargedBytes())
+	}
+	if warm.IO.LogicalBytes != int64(len(data)) {
+		t.Errorf("warm logical %d, want %d — caching must not change logical accounting",
+			warm.IO.LogicalBytes, len(data))
+	}
+	if warm.CacheHits != 4 || warm.BytesFromCache != int64(len(data)) {
+		t.Errorf("warm hits = %d (%d bytes), want 4 (%d)", warm.CacheHits, warm.BytesFromCache, len(data))
+	}
+
+	// Rebuild the file at the same path: new generation, no stale hits.
+	firstGen := gen
+	if err := fs.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X'
+	if err := fs.WriteFile("/f", data, AnyNode); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, got := read()
+	if got[0] != 'X' {
+		t.Fatal("rebuilt read returned stale bytes")
+	}
+	if gen == firstGen {
+		t.Errorf("rebuilt file kept generation %d — cache keys could not tell it apart", gen)
+	}
+	if rebuilt.CacheHits != 0 {
+		t.Errorf("rebuilt file hit its predecessor's cache: %d hits", rebuilt.CacheHits)
+	}
+	if rebuilt.IO.TotalChargedBytes() != int64(len(data)) {
+		t.Errorf("rebuilt charged %d, want %d", rebuilt.IO.TotalChargedBytes(), len(data))
+	}
+}

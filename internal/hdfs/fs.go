@@ -46,10 +46,15 @@ type FileSystem struct {
 	// coarse balancing.
 	usage []int64
 	dead  []bool
+	// nextGen numbers file creations; a path recreated after Remove gets a
+	// fresh generation, which is what keys session scan caches (ScanCache)
+	// so they can never serve a rebuilt file's predecessor.
+	nextGen int64
 }
 
 type fileMeta struct {
 	path   string
+	gen    int64
 	blocks []*block
 	size   int64
 	closed bool
@@ -133,7 +138,8 @@ func (fs *FileSystem) Create(p string, writer NodeID) (*FileWriter, error) {
 		return nil, fmt.Errorf("hdfs: create %s: is a directory", p)
 	}
 	fs.mkdirAllLocked(path.Dir(p))
-	meta := &fileMeta{path: p}
+	fs.nextGen++
+	meta := &fileMeta{path: p, gen: fs.nextGen}
 	fs.files[p] = meta
 	return &FileWriter{fs: fs, meta: meta, node: writer}, nil
 }

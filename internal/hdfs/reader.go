@@ -29,10 +29,32 @@ type FileReader struct {
 	// been charged yet.
 	chargedStart int64
 	chargedEnd   int64
+	// cache, when attached, intercepts byte charging at transfer-unit
+	// granularity: resident units charge nothing and are credited to
+	// cacheStats.CacheHits / BytesFromCache; missed units charge normally
+	// and are admitted. Seek accounting is unaffected either way.
+	cache      *ScanCache
+	cacheStats *sim.TaskStats
 }
 
 // SetStats attaches an I/O accounting sink. A nil sink disables accounting.
 func (r *FileReader) SetStats(s *sim.IOStats) { r.stats = s }
+
+// SetCache attaches a session scan cache plus the task counters its hits are
+// credited to. A nil cache restores plain charging.
+func (r *FileReader) SetCache(c *ScanCache, stats *sim.TaskStats) {
+	r.cache = c
+	r.cacheStats = stats
+}
+
+// Generation returns the file's creation generation — the namenode counter
+// value assigned when the path was created, which distinguishes a rebuilt
+// file from its predecessor at the same path (ScanCache keys on it).
+func (r *FileReader) Generation() int64 {
+	r.fs.mu.Lock()
+	defer r.fs.mu.Unlock()
+	return r.meta.gen
+}
 
 // Size returns the file's logical size.
 func (r *FileReader) Size() int64 {
@@ -176,9 +198,45 @@ func (r *FileReader) chargeLocked(lo, hi int64) error {
 	return nil
 }
 
-// chargeBytesLocked attributes [lo, hi) to local or remote traffic,
-// block by block.
+// chargeBytesLocked attributes [lo, hi) to the traffic counters. Without a
+// cache attached this is exactly the plain span charge; with one, the range
+// is walked per transfer unit (chargeLocked always hands over unit-aligned
+// ranges, so unit boundaries are stable across read patterns): resident
+// units are credited to the cache counters and charge no traffic, missed
+// units charge normally and become resident.
 func (r *FileReader) chargeBytesLocked(lo, hi int64) error {
+	if r.cache == nil {
+		return r.chargeSpanLocked(lo, hi)
+	}
+	tu := r.fs.cfg.TransferUnit
+	if tu <= 0 {
+		tu = 1
+	}
+	for lo < hi {
+		end := lo - lo%tu + tu
+		if end > hi {
+			end = hi
+		}
+		key := regionKey{path: r.meta.path, gen: r.meta.gen, off: lo - lo%tu}
+		if r.cache.lookup(key) {
+			if r.cacheStats != nil {
+				r.cacheStats.CacheHits++
+				r.cacheStats.BytesFromCache += end - lo
+			}
+		} else {
+			if err := r.chargeSpanLocked(lo, end); err != nil {
+				return err
+			}
+			r.cache.admit(key, end-lo)
+		}
+		lo = end
+	}
+	return nil
+}
+
+// chargeSpanLocked attributes [lo, hi) to local or remote traffic,
+// block by block.
+func (r *FileReader) chargeSpanLocked(lo, hi int64) error {
 	bs := r.fs.cfg.BlockSize
 	for lo < hi {
 		idx := lo / bs

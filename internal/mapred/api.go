@@ -139,13 +139,28 @@ type ReducerFunc func(key any, values []any, emit Emit) error
 func (f ReducerFunc) Reduce(key any, values []any, emit Emit) error { return f(key, values, emit) }
 
 // JobConf carries job configuration, mirroring Hadoop's JobConf: input
-// paths, output path, reducer count, and free-form properties that
-// InputFormats interpret (e.g. the CIF column projection).
+// paths, output path, reducer count, the typed scan specification, and
+// free-form properties that InputFormats interpret.
 type JobConf struct {
 	InputPaths  []string
 	OutputPath  string
 	NumReducers int
 	Props       map[string]string
+	// Scan is the typed scan specification — projection, predicate,
+	// materialization mode, elision, task sizing — consumed directly by
+	// CIF, never re-parsed from prop strings. The builder
+	// (core.ScanDataset) and the compatibility Set* wrappers populate it.
+	// The legacy props (cif.columns, scan.predicate, ...) remain as the
+	// serialization format for string-typed inputs; a prop still present
+	// fills its field only when the typed spec never set it (each wrapper
+	// deletes its own prop when writing the typed field).
+	Scan *scan.Spec
+	// Cache is the cross-batch scan cache of the Session that runs the
+	// job, attached by Session.Submit/Run; nil disables caching. It is
+	// runtime state, not configuration: CIF readers hand it to their
+	// column-file streams so regions hot from earlier batches charge no
+	// I/O.
+	Cache *hdfs.ScanCache
 }
 
 // Get returns a free-form property.
@@ -162,6 +177,21 @@ func (c *JobConf) Set(key, value string) {
 		c.Props = make(map[string]string)
 	}
 	c.Props[key] = value
+}
+
+// Del removes a free-form property (scan.Conf).
+func (c *JobConf) Del(key string) {
+	delete(c.Props, key)
+}
+
+// ScanSpec returns the conf's mutable typed scan spec, allocating it on
+// first use (scan.Conf). Configuration-time only: job execution reads the
+// possibly-nil Scan field and must not allocate through this.
+func (c *JobConf) ScanSpec() *scan.Spec {
+	if c.Scan == nil {
+		c.Scan = &scan.Spec{}
+	}
+	return c.Scan
 }
 
 // Job is a configured MapReduce job.
@@ -184,6 +214,12 @@ func (j *Job) Validate() error {
 	}
 	if j.Mapper == nil {
 		return fmt.Errorf("mapred: job has no Mapper")
+	}
+	if j.Output == nil {
+		return fmt.Errorf("mapred: job has no OutputFormat (use NullOutput to discard output)")
+	}
+	if _, null := j.Output.(NullOutput); null && j.Conf.OutputPath != "" {
+		return fmt.Errorf("mapred: OutputPath %q set but Output is NullOutput — output would be silently discarded", j.Conf.OutputPath)
 	}
 	if j.Reducer != nil && j.Conf.NumReducers < 1 {
 		return fmt.Errorf("mapred: reducer set but NumReducers = %d", j.Conf.NumReducers)

@@ -169,10 +169,15 @@ func runBatch(fs *hdfs.FileSystem, jobs []*Job) (*BatchResult, error) {
 			solo = append(solo, i)
 			continue
 		}
-		// The key includes the format's printed configuration: jobs whose
-		// instances are configured differently (task sizing, etc.) plan
-		// differently and must not be driven by one another's format.
-		key := fmt.Sprintf("%T|%#v|%s", job.Input, job.Input, strings.Join(job.Conf.InputPaths, "\x00"))
+		// The key includes the format's printed configuration and the
+		// spec's task sizing: jobs whose instances (or typed specs) size
+		// tasks differently plan differently and must not be driven by one
+		// another's format.
+		dps := 0
+		if job.Conf.Scan != nil {
+			dps = job.Conf.Scan.DirsPerSplit
+		}
+		key := fmt.Sprintf("%T|%#v|%d|%s", job.Input, job.Input, dps, strings.Join(job.Conf.InputPaths, "\x00"))
 		g, ok := byKey[key]
 		if !ok {
 			g = &group{sif: sif}

@@ -59,6 +59,7 @@ func countJob(dataset string, pred scan.Predicate) *mapred.Job {
 			}
 			return nil
 		}),
+		Output: mapred.NullOutput{},
 	}
 }
 

@@ -207,9 +207,18 @@ func TestJobValidation(t *testing.T) {
 		t.Error("empty job should fail validation")
 	}
 	j := &Job{Input: &memInput{}, Mapper: MapperFunc(func(k, v any, e Emit) error { return nil })}
+	if err := j.Validate(); err == nil || !strings.Contains(err.Error(), "OutputFormat") {
+		t.Errorf("job without OutputFormat should fail validation, got %v", err)
+	}
+	j.Output = NullOutput{}
 	if err := j.Validate(); err != nil {
 		t.Errorf("map-only job should validate: %v", err)
 	}
+	j.Conf.OutputPath = "/out"
+	if err := j.Validate(); err == nil {
+		t.Error("OutputPath with NullOutput should fail — the output would be silently discarded")
+	}
+	j.Conf.OutputPath = ""
 	j.Reducer = ReducerFunc(func(k any, vs []any, e Emit) error { return nil })
 	if err := j.Validate(); err == nil {
 		t.Error("reducer with 0 reducers should fail")
@@ -223,6 +232,7 @@ func TestMapErrorPropagates(t *testing.T) {
 		Conf:   JobConf{},
 		Input:  in,
 		Mapper: MapperFunc(func(k, v any, e Emit) error { return fmt.Errorf("boom") }),
+		Output: NullOutput{},
 	}
 	if _, err := Run(fs, job); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Errorf("map error not propagated: %v", err)
@@ -238,6 +248,7 @@ func TestUnsupportedKeyTypeFails(t *testing.T) {
 		Mapper: MapperFunc(func(k, v any, e Emit) error {
 			return e(struct{ X int }{1}, nil)
 		}),
+		Output: NullOutput{},
 	}
 	if _, err := Run(fs, job); err == nil {
 		t.Error("emitting a struct key should fail")
@@ -266,6 +277,7 @@ func TestReduceInputDeterminism(t *testing.T) {
 				}
 				return nil
 			}),
+			Output: NullOutput{},
 		}
 		if _, err := Run(fs, job); err != nil {
 			t.Fatal(err)

@@ -271,7 +271,11 @@ func TestSharedScanEquivalenceProperty(t *testing.T) {
 		sharedReads += br.Shared.SharedReads
 
 		for j := 0; j < njobs; j++ {
-			ctx := fmt.Sprintf("round %d job %d (pred %q)", round, j, soloJobs[j].Conf.Get(scan.PredicateProp))
+			pred := "none"
+			if p := soloJobs[j].Conf.Scan.Predicate; p != nil {
+				pred = p.String()
+			}
+			ctx := fmt.Sprintf("round %d job %d (pred %q)", round, j, pred)
 			solo, batch := soloRes[j], br.Results[j]
 			parts := soloJobs[j].Conf.NumReducers
 			if soloJobs[j].Reducer == nil || parts < 1 {

@@ -2,25 +2,99 @@ package scan
 
 import "fmt"
 
+// Spec is the typed scan specification — the format-independent query
+// contract (projection + selection + materialization + task sizing) that
+// travels with a job as one first-class value instead of a side channel of
+// conf strings. mapred.JobConf carries a *Spec; the CIF planner and readers
+// consume it directly, and the legacy Set* free functions are thin
+// compatibility wrappers that populate it. The string props (ColumnsProp et
+// al. in internal/core, PredicateProp/ElideProp here) remain only as the
+// serialization format for string-typed inputs such as `colscan -where`:
+// a prop still present fills its field only when the typed spec never set
+// it (each wrapper deletes its own prop when writing the typed field).
+type Spec struct {
+	// Columns is the projection: the columns materialized into the records
+	// handed to the map function. Empty means every column.
+	Columns []string
+	// Predicate is the pushdown selection; nil scans unfiltered.
+	Predicate Predicate
+	// Lazy selects lazy record construction (paper Section 5).
+	Lazy bool
+	// NoElide disables scheduler-tier split elision (and the reader's file
+	// tier). The zero value — elision on — is the default, as with
+	// SetElision; the switch exists so output equivalence is testable and
+	// regressions bisectable.
+	NoElide bool
+	// DirsPerSplit assigns this many split-directories to one map task,
+	// overriding the input format's own setting when non-zero
+	// (core.AutoDirsPerSplit sizes tasks from estimated selectivity).
+	DirsPerSplit int
+}
+
+// Elide reports whether scheduler-tier split elision is enabled.
+func (s *Spec) Elide() bool { return !s.NoElide }
+
+// Clone returns a copy sharing the (immutable) predicate and a fresh
+// projection slice.
+func (s *Spec) Clone() *Spec {
+	if s == nil {
+		return nil
+	}
+	out := *s
+	out.Columns = append([]string(nil), s.Columns...)
+	return &out
+}
+
+// Equal reports whether two specs describe the same scan. Predicates are
+// compared by their expression serialization, the same form the prop
+// round-trips through.
+func (s *Spec) Equal(o *Spec) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if len(s.Columns) != len(o.Columns) {
+		return false
+	}
+	for i := range s.Columns {
+		if s.Columns[i] != o.Columns[i] {
+			return false
+		}
+	}
+	if (s.Predicate == nil) != (o.Predicate == nil) {
+		return false
+	}
+	if s.Predicate != nil && s.Predicate.String() != o.Predicate.String() {
+		return false
+	}
+	return s.Lazy == o.Lazy && s.NoElide == o.NoElide && s.DirsPerSplit == o.DirsPerSplit
+}
+
 // Conf is the slice of mapred.JobConf this package needs: free-form string
-// properties. Depending on the interface rather than the struct keeps scan
-// import-free below mapred, which lets the engine consume scan's planning
-// vocabulary (PruneReport) without a cycle.
+// properties plus the typed scan spec. Depending on the interface rather
+// than the struct keeps scan import-free below mapred, which lets the
+// engine consume scan's planning vocabulary (PruneReport, Spec) without a
+// cycle.
 type Conf interface {
 	Get(key string) string
 	Set(key, value string)
+	// Del removes a property so cleared settings leave no lingering keys
+	// behind (empty-string values confuse conf diffing).
+	Del(key string)
+	// ScanSpec returns the conf's mutable typed spec, allocating it on
+	// first use. Write-side only: concurrent readers must use the conf's
+	// own accessor for the possibly-nil spec.
+	ScanSpec() *Spec
 }
 
-// PredicateProp is the job property carrying the serialized predicate,
-// interpreted by CIF (internal/core) the way ColumnsProp carries the
-// projection.
+// PredicateProp is the job property carrying the serialized predicate — the
+// legacy side channel, interpreted by CIF (internal/core) only when the
+// typed Spec carries no predicate of its own.
 const PredicateProp = "scan.predicate"
 
 // ElideProp is the job property controlling scheduler-tier split elision
-// ("false" disables it; anything else, including unset, enables it).
-// Elision only changes which split-directories are scheduled, never which
-// records qualify, so it defaults on; the switch exists so output
-// equivalence is testable and regressions bisectable.
+// ("false" disables it; anything else, including unset, enables it). Like
+// PredicateProp it is consulted only when the typed Spec leaves elision at
+// its default.
 const ElideProp = "scan.elide"
 
 // SetPredicate pushes a selection predicate into CIF for a job — the
@@ -35,15 +109,18 @@ const ElideProp = "scan.elide"
 // skips the remaining cursors past non-qualifying records, and uses
 // zone-map statistics to jump whole record groups; split generation uses
 // whole-file statistics to drop split-directories before tasks exist.
+//
+// SetPredicate is the compatibility wrapper over the typed spec: it
+// populates Spec.Predicate and clears any lingering serialized prop. New
+// code should prefer the builder (core.ScanDataset).
 func SetPredicate(conf Conf, p Predicate) {
-	if p == nil {
-		conf.Set(PredicateProp, "")
-		return
-	}
-	conf.Set(PredicateProp, p.String())
+	conf.ScanSpec().Predicate = p
+	conf.Del(PredicateProp)
 }
 
-// FromConf reads the job's predicate, or nil when none is set.
+// FromConf reads a conf's serialized predicate prop, or nil when none is
+// set — the legacy fill-in consulted only when the typed Spec carries no
+// predicate.
 func FromConf(conf Conf) (Predicate, error) {
 	expr := conf.Get(PredicateProp)
 	if expr == "" {
@@ -56,16 +133,16 @@ func FromConf(conf Conf) (Predicate, error) {
 	return p, nil
 }
 
-// SetElision enables or disables scheduler-tier split elision for a job.
+// SetElision enables or disables scheduler-tier split elision for a job —
+// the compatibility wrapper over Spec.NoElide. Enabling (the default state)
+// clears the legacy prop rather than writing a placeholder value.
 func SetElision(conf Conf, on bool) {
-	if on {
-		conf.Set(ElideProp, "")
-	} else {
-		conf.Set(ElideProp, "false")
-	}
+	conf.ScanSpec().NoElide = !on
+	conf.Del(ElideProp)
 }
 
-// ElisionFromConf reports whether split elision is enabled (the default).
+// ElisionFromConf reports whether a specless conf enables split elision
+// (the default).
 func ElisionFromConf(conf Conf) bool {
 	return conf.Get(ElideProp) != "false"
 }

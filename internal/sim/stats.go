@@ -178,6 +178,13 @@ type TaskStats struct {
 	// column stream's charged bytes times the additional member jobs it
 	// served. Like SharedReads it is attributed once, on the shared stats.
 	BytesSaved int64
+	// CacheHits is the number of column-file regions (transfer units) a
+	// session scan cache served instead of the disk subsystem; those
+	// regions charge no local/remote bytes. BytesFromCache is the bytes
+	// those regions held. Both are zero unless a mapred.Session with a
+	// non-zero cache budget ran the task (hdfs.ScanCache).
+	CacheHits      int64
+	BytesFromCache int64
 }
 
 // Add accumulates o into s.
@@ -194,6 +201,8 @@ func (s *TaskStats) Add(o TaskStats) {
 	s.FilesPruned += o.FilesPruned
 	s.SharedReads += o.SharedReads
 	s.BytesSaved += o.BytesSaved
+	s.CacheHits += o.CacheHits
+	s.BytesFromCache += o.BytesFromCache
 }
 
 // Scale multiplies every counter by k.
@@ -210,6 +219,8 @@ func (s *TaskStats) Scale(k float64) {
 	s.FilesPruned = scaleInt(s.FilesPruned, k)
 	s.SharedReads = scaleInt(s.SharedReads, k)
 	s.BytesSaved = scaleInt(s.BytesSaved, k)
+	s.CacheHits = scaleInt(s.CacheHits, k)
+	s.BytesFromCache = scaleInt(s.BytesFromCache, k)
 }
 
 func scaleInt(v int64, k float64) int64 {
