@@ -47,6 +47,8 @@ var experiments = []struct {
 		func(c bench.Config) error { _, err := bench.Selectivity(c); return err }},
 	{"elision", "split elision sweep: scheduler-tier pruning vs group-tier-only baseline",
 		func(c bench.Config) error { _, err := bench.Elision(c); return err }},
+	{"bloom", "bloom pruning sweep: string-equality filters vs zone-maps-only on unsorted data",
+		func(c bench.Config) error { _, err := bench.Bloom(c); return err }},
 	{"sharedscan", "shared scan sweep: co-scheduled batches vs independent runs (1/2/4/8 jobs)",
 		func(c bench.Config) error { _, err := bench.SharedScan(c); return err }},
 	{"cachereuse", "cache reuse sweep: one session resubmitting a job vs cold runs",

@@ -153,8 +153,8 @@ func RunJob(fs *FileSystem, job *Job) (*JobResult, error) { return mapred.Run(fs
 //		Lazy(true).
 //		Job(mapper)
 //
-// The SetColumns/SetPredicate/SetLazy/SetElision free functions below are
-// compatibility wrappers that populate the same spec.
+// The SetColumns/SetPredicate/SetLazy/SetElision/SetBloom free functions
+// below are compatibility wrappers that populate the same spec.
 type (
 	// ScanSpec is the typed scan specification (scan.Spec).
 	ScanSpec = scan.Spec
@@ -265,10 +265,10 @@ func SetLazy(conf *JobConf, lazy bool) { core.SetLazy(conf, lazy) }
 // whole record groups without touching their bytes, filter columns decide
 // the remaining records, and projected columns materialize only for
 // matches.
-// Predicate is a pushdown filter over records. The zone-map statistics
-// backing group pruning (min/max/null-count/distinct/key-universe per
-// record group) are internal to the column files; see
-// internal/colfile.StatsSource.
+// Predicate is a pushdown filter over records. The statistics backing
+// group pruning (min/max/null-count/distinct/key-universe/Bloom-filter
+// per record group) are internal to the column files; see
+// internal/colfile.StatsSource and docs/FORMAT.md.
 type Predicate = scan.Predicate
 
 // SetPredicate pushes a selection predicate into CIF for a job — the
@@ -288,6 +288,14 @@ type PruneReport = scan.PruneReport
 // Compatibility wrapper over ScanSpec.NoElide; prefer
 // ScanDataset(...).Elide(...).
 func SetElision(conf *JobConf, on bool) { scan.SetElision(conf, on) }
+
+// SetBloom enables or disables Bloom-filter consultation at every pruning
+// tier (default on). Filters answer string/bytes equality and map-key
+// existence where zone maps cannot (unsorted high-cardinality data); a
+// negative probe is a proof, so toggling never changes which records
+// qualify. Compatibility wrapper over ScanSpec.NoBloom; prefer
+// ScanDataset(...).Bloom(...). See docs/PRUNING.md.
+func SetBloom(conf *JobConf, on bool) { scan.SetBloom(conf, on) }
 
 // ParsePredicate reads a predicate from the scan expression language,
 // e.g. `prefix(url, "http://www.ibm.com") && fetchTime > 1293840000000`.

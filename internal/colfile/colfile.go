@@ -1,25 +1,3 @@
-// Package colfile implements the per-column file formats underlying CIF/COF
-// (paper Sections 4.2, 5.2, 5.3). A column file stores the values of one
-// column of one split, in one of four layouts:
-//
-//	Plain     concatenated self-delimiting values. Skipping a record
-//	          requires walking its encoding, so lazy access yields no
-//	          deserialization or I/O savings — the degradation mode the
-//	          paper describes for non-skip-list files.
-//	SkipList  values interleaved with skip blocks at 10/100/1000-record
-//	          boundaries holding byte offsets ("Skip10 = 1099" in the
-//	          paper's Figure 6), enabling O(1) skips per level.
-//	Block     compressed blocks: frames of contiguous values compressed
-//	          with LZO or ZLIB. A frame's header allows skipping it
-//	          wholesale (lazy decompression), but touching any value in a
-//	          frame decompresses the entire frame.
-//	DCSL      dictionary compressed skip list, for map-typed columns: a
-//	          skip list whose map values carry dictionary-compressed keys,
-//	          with one key dictionary embedded per largest-level window.
-//	          Values are accessible without decompressing a whole block.
-//
-// Every file is framed by a fixed header (magic, layout, parameters) and a
-// fixed-size footer carrying the record count, so files are self-describing.
 package colfile
 
 import (
@@ -96,6 +74,10 @@ type Options struct {
 	// cut one group per compressed frame). 0 selects DefaultStatsEvery;
 	// negative disables the stats section.
 	StatsEvery int
+	// NoBloom suppresses the per-group and whole-file Bloom filters the
+	// stats section otherwise carries for string, bytes, and map columns.
+	// The rest of the section (zone maps, key universes) is unaffected.
+	NoBloom bool
 }
 
 func (o Options) withDefaults() Options {

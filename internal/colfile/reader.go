@@ -26,6 +26,10 @@ type ReaderOptions struct {
 	// interleave cost here when scanning several column streams
 	// concurrently, normalized per refill granularity.
 	OnRefill func(bytes, chunk int)
+	// NoBloom disables Bloom-filter consultation inside the reader — today
+	// the DCSL key prober's group-filter fast path. CIF sets it from
+	// scan.Spec.NoBloom so one job knob governs every tier.
+	NoBloom bool
 }
 
 // NewReader opens a column file of the given value schema. The layout is
@@ -74,6 +78,7 @@ func NewReaderOpts(r ReaderAtSize, schema *serde.Schema, opts ReaderOptions, sta
 			stats:       stats,
 			levels:      h.levels,
 			dcsl:        h.layout == DCSL,
+			noBloom:     opts.NoBloom,
 			total:       total,
 		}, nil
 	}
@@ -256,13 +261,14 @@ func (b *blockReader) SkipTo(target int64) error {
 // (aligned == true, group and window dictionary consumed).
 type slReader struct {
 	*statsLoader
-	s      *stream
-	schema *serde.Schema
-	stats  *sim.CPUStats
-	levels []int
-	dcsl   bool
-	rec    int64
-	total  int64
+	s       *stream
+	schema  *serde.Schema
+	stats   *sim.CPUStats
+	levels  []int
+	dcsl    bool
+	noBloom bool
+	rec     int64
+	total   int64
 
 	aligned bool
 	dict    *compress.Dictionary
@@ -425,14 +431,23 @@ func (r *slReader) SkipTo(target int64) error {
 	return nil
 }
 
-// HasKey implements KeyProber for DCSL files. The window dictionary is the
-// union of every map key in the window, so a failed lookup refutes the
-// whole window with one map access; a hit walks the current record's
-// (id, value) pairs comparing ids, skipping element bytes, building no
-// objects. The walk is priced as raw byte movement.
+// HasKey implements KeyProber for DCSL files. The group's Bloom filter is
+// consulted first when present: a negative probe refutes the key for the
+// whole record group from already-loaded (uncharged) metadata, before the
+// reader even aligns on the record — cheaper than the dictionary walk and
+// able to skip the window dictionary load entirely. Past the filter, the
+// window dictionary is the union of every map key in the window, so a
+// failed lookup refutes the whole window with one map access; a hit walks
+// the current record's (id, value) pairs comparing ids, skipping element
+// bytes, building no objects. The walk is priced as raw byte movement.
 func (r *slReader) HasKey(key string) (bool, bool, error) {
 	if !r.dcsl || r.rec >= r.total {
 		return false, false, nil
+	}
+	if !r.noBloom {
+		if st, _ := r.GroupStats(r.rec); st != nil && st.Bloom != nil && !st.Bloom.MayContainString(key) {
+			return false, true, nil
+		}
 	}
 	if err := r.align(); err != nil {
 		return false, false, err

@@ -34,6 +34,17 @@ const statsMaxDistinct = 64
 // key-existence.
 const statsMaxKeys = 64
 
+// Bloom-filter size caps. A capped filter is sized below its ~1% FPP
+// target and merely refutes less; it is never unsound. The group cap keeps
+// the per-group entry small (groups hold ~100 records); the file cap
+// bounds the whole-file aggregate that split elision reads, which must
+// stay useful at crawl-scale distinct counts. Both are power-of-two block
+// multiples (scan.NewBloomSized rounds to blocks).
+const (
+	bloomMaxGroupBytes = 4 << 10
+	bloomMaxFileBytes  = 128 << 10
+)
+
 // statsEntry locates one group's statistics in the record space.
 type statsEntry struct {
 	start int64 // first record of the group; Rows gives the extent
@@ -86,20 +97,62 @@ type statsCollector struct {
 
 	minMax bool
 	mapCol bool
+
+	// Bloom collection: string/bytes columns filter their values, map
+	// columns their keys (bloomVals and bloomKeys are mutually exclusive).
+	// Observed byte strings dedup as hashes; the filter is sized from the
+	// hash count at cut, capped at bloomMax bytes (0 disables). Once the
+	// distinct count guarantees a saturated (dropped) filter even at the
+	// size cap, collection abandons: the group yields no filter and the
+	// dedup set stops growing — at crawl-scale distinct counts the
+	// whole-file collector would otherwise burn memory building a filter
+	// buildBloom is certain to discard.
+	bloomVals      bool
+	bloomKeys      bool
+	bloomMax       int
+	bloomSet       map[uint64]struct{}
+	bloomAbandoned bool
 }
 
 // newStatsCollector builds a collector cutting groups every `every`
 // records (0 = external cuts only). A negative cadence disables statistics
 // entirely: the nil collector accepts observe/cut and yields no section.
-func newStatsCollector(schema *serde.Schema, every int) *statsCollector {
+// bloomMax caps the per-group Bloom filter in bytes; 0 writes none.
+func newStatsCollector(schema *serde.Schema, every, bloomMax int) *statsCollector {
 	if every < 0 {
 		return nil
 	}
-	return &statsCollector{
+	c := &statsCollector{
 		schema: schema,
 		every:  every,
 		minMax: minMaxKind(schema.Kind),
 		mapCol: schema.Kind == serde.KindMap,
+	}
+	if bloomMax > 0 {
+		c.bloomVals = schema.Kind == serde.KindString || schema.Kind == serde.KindBytes
+		c.bloomKeys = c.mapCol
+		c.bloomMax = bloomMax
+	}
+	return c
+}
+
+// bloomAdd records one byte-string hash for the current group's filter.
+func (c *statsCollector) bloomAdd(h uint64) {
+	if c.bloomAbandoned {
+		return
+	}
+	if c.bloomSet == nil {
+		c.bloomSet = make(map[uint64]struct{})
+	}
+	c.bloomSet[h] = struct{}{}
+	// Past 1/4 of the capped filter's bit count, the expected fill
+	// (1-e^(-k/4) ~ 0.83) is beyond the saturation bound buildBloom drops
+	// at — abandon rather than keep paying 16 bytes per distinct value for
+	// a filter that cannot survive. Abandoning early is sound: no filter
+	// means MayMatch, never a wrong proof.
+	if len(c.bloomSet) > c.bloomMax*8/4 {
+		c.bloomAbandoned = true
+		c.bloomSet = nil
 	}
 }
 
@@ -154,11 +207,27 @@ func (c *statsCollector) observe(v any) {
 			// capped lower bound so consumers never treat it as exact.
 			c.cur.DistinctCapped = true
 		}
+		if c.bloomVals {
+			switch x := v.(type) {
+			case string:
+				c.bloomAdd(scan.BloomHashString(x))
+			case []byte:
+				c.bloomAdd(scan.BloomHash(x))
+			}
+		}
 		if c.mapCol {
 			if m, ok := v.(map[string]any); ok {
 				c.cur.HasKeys = true
 				if c.keys == nil {
 					c.keys = make(map[string]struct{}, statsMaxKeys)
+				}
+				if c.bloomKeys {
+					// Unlike the capped key list below, the filter sees
+					// every key, so a negative probe stays a proof even
+					// when KeysCapped.
+					for k := range m {
+						c.bloomAdd(scan.BloomHashString(k))
+					}
 				}
 				// Sorted iteration keeps the retained subset under the
 				// cap deterministic: identical data must produce
@@ -204,11 +273,36 @@ func (c *statsCollector) cut() {
 		sort.Strings(keys)
 		c.cur.Keys = keys
 	}
+	c.cur.Bloom = c.buildBloom()
 	c.entries = append(c.entries, statsEntry{start: c.curStart, st: c.cur})
 	c.curStart += c.cur.Rows
 	c.cur = scan.ColStats{}
 	c.distinct = nil
 	c.keys = nil
+	c.bloomSet = nil
+	c.bloomAbandoned = false
+}
+
+// buildBloom sizes a filter from the group's deduplicated hashes and
+// inserts them. Insertion order is irrelevant (bits OR together), so the
+// random map iteration still yields deterministic file bytes. A filter
+// still saturated at the size cap refutes too little to be worth its
+// bytes and is dropped.
+func (c *statsCollector) buildBloom() *scan.Bloom {
+	if len(c.bloomSet) == 0 {
+		return nil
+	}
+	b := scan.NewBloomSized(len(c.bloomSet), c.bloomMax)
+	if b == nil {
+		return nil
+	}
+	for h := range c.bloomSet {
+		b.AddHash(h)
+	}
+	if b.Saturated() {
+		return nil
+	}
+	return b
 }
 
 // statsWriter pairs the per-group collector with a whole-file collector.
@@ -225,13 +319,20 @@ type statsWriter struct {
 // newStatsWriter builds the collector pair cutting groups every `every`
 // records (0 = external cuts only). A negative cadence disables statistics
 // entirely: the nil writer accepts observe/cut and yields no section.
-func newStatsWriter(schema *serde.Schema, every int) *statsWriter {
+// noBloom suppresses Bloom filters while keeping the rest of the section.
+// The file collector gets the larger size cap: its single filter covers
+// every distinct value in the file, and it is what split elision probes.
+func newStatsWriter(schema *serde.Schema, every int, noBloom bool) *statsWriter {
 	if every < 0 {
 		return nil
 	}
+	groupMax, fileMax := bloomMaxGroupBytes, bloomMaxFileBytes
+	if noBloom {
+		groupMax, fileMax = 0, 0
+	}
 	return &statsWriter{
-		group: newStatsCollector(schema, every),
-		file:  newStatsCollector(schema, 0),
+		group: newStatsCollector(schema, every, groupMax),
+		file:  newStatsCollector(schema, 0, fileMax),
 	}
 }
 
@@ -267,29 +368,38 @@ func (w *statsWriter) finish() ([]byte, error) {
 	if len(w.file.entries) != 1 {
 		return nil, fmt.Errorf("colfile: file aggregate collector produced %d entries, want 1", len(w.file.entries))
 	}
-	return appendStatsSectionV2(nil, w.group.schema, &w.file.entries[0].st, w.group.entries)
+	return appendStatsSectionV3(nil, w.group.schema, &w.file.entries[0].st, w.group.entries)
 }
 
-// Stats section encoding (current, "CFS2"):
+// Stats section encoding (current, "CFS3"; see docs/FORMAT.md for the
+// byte-level specification and lineage):
 //
-//	magic "CFS2"
+//	magic "CFS3"
 //	aggregate entry covering every record in the file
 //	uvarint groupCount
 //	per group entry (same encoding as the aggregate):
 //	  uvarint rows, uvarint nulls, uvarint distinct
-//	  flags byte (hasMinMax | distinctCapped<<1 | hasKeys<<2 | keysCapped<<3)
+//	  flags byte (hasMinMax | distinctCapped<<1 | hasKeys<<2 |
+//	              keysCapped<<3 | hasBloom<<4)
 //	  [hasMinMax]  len-prefixed serde(min), len-prefixed serde(max)
 //	  [hasKeys]    uvarint keyCount, len-prefixed keys
+//	  [hasBloom]   uvarint k, uvarint wordCount, wordCount x u64 LE words
 //
 // Group starts are implicit: groups tile the record space in order. The
 // aggregate leads the section so split elision decides a whole file's
 // relevance from the footer plus an O(1) parse — never data, never the
-// group entries. Legacy "CFST" sections (groups only, written before the
-// scan planner) still parse; consumers derive the aggregate by merging
-// their groups.
+// group entries.
+//
+// Lineage, all still parsed: "CFST" (PR 1) holds groups only — consumers
+// derive the aggregate by merging groups; "CFS2" (PR 2) added the leading
+// aggregate; "CFS3" (this PR) added the optional per-entry Bloom filter.
+// A bloom-less CFS3 entry is byte-identical to its CFS2 spelling, so the
+// flag bit is what versions entries — the magic versions the section
+// frame.
 const (
 	statsMagic   = "CFST"
 	statsMagicV2 = "CFS2"
+	statsMagicV3 = "CFS3"
 )
 
 const (
@@ -297,11 +407,23 @@ const (
 	statsFlagDistinctCapped
 	statsFlagHasKeys
 	statsFlagKeysCapped
+	statsFlagBloom
 )
 
+// statsMaxBloomWords bounds a decoded filter: the file-level cap in
+// 64-bit words. Anything larger is corruption, not a huge filter.
+const statsMaxBloomWords = bloomMaxFileBytes / 8
+
 // appendStatsSection encodes the legacy groups-only section ("CFST").
-// Only tests build it today; the writer emits appendStatsSectionV2.
+// Only backward-compat tests build it today; the writer emits
+// appendStatsSectionV3. Like the CFS2 encoder, it rejects bloom-bearing
+// entries: pre-bloom sections must stay readable by pre-bloom parsers.
 func appendStatsSection(dst []byte, schema *serde.Schema, entries []statsEntry) ([]byte, error) {
+	for i := range entries {
+		if entries[i].st.Bloom != nil {
+			return nil, fmt.Errorf("colfile: CFST section cannot carry a Bloom filter")
+		}
+	}
 	dst = append(dst, statsMagic...)
 	dst = binary.AppendUvarint(dst, uint64(len(entries)))
 	var err error
@@ -313,9 +435,33 @@ func appendStatsSection(dst []byte, schema *serde.Schema, entries []statsEntry) 
 	return dst, nil
 }
 
-// appendStatsSectionV2 encodes the aggregate-first section ("CFS2").
+// appendStatsSectionV2 encodes the legacy aggregate-first section
+// ("CFS2"). Only backward-compat tests build it today; entries carrying a
+// Bloom filter would be unreadable by pre-bloom parsers, so this encoder
+// rejects them.
 func appendStatsSectionV2(dst []byte, schema *serde.Schema, agg *scan.ColStats, entries []statsEntry) ([]byte, error) {
-	dst = append(dst, statsMagicV2...)
+	if agg.Bloom != nil {
+		return nil, fmt.Errorf("colfile: CFS2 section cannot carry a Bloom filter")
+	}
+	for i := range entries {
+		if entries[i].st.Bloom != nil {
+			return nil, fmt.Errorf("colfile: CFS2 section cannot carry a Bloom filter")
+		}
+	}
+	return appendAggSection(dst, statsMagicV2, schema, agg, entries)
+}
+
+// appendStatsSectionV3 encodes the current aggregate-first section
+// ("CFS3") with optional per-entry Bloom filters.
+func appendStatsSectionV3(dst []byte, schema *serde.Schema, agg *scan.ColStats, entries []statsEntry) ([]byte, error) {
+	return appendAggSection(dst, statsMagicV3, schema, agg, entries)
+}
+
+// appendAggSection encodes an aggregate-first section under the given
+// magic (the CFS2 and CFS3 frames are identical; entries version
+// themselves through flag bits).
+func appendAggSection(dst []byte, magic string, schema *serde.Schema, agg *scan.ColStats, entries []statsEntry) ([]byte, error) {
+	dst = append(dst, magic...)
 	dst, err := appendStatsEntry(dst, schema, agg)
 	if err != nil {
 		return nil, err
@@ -346,6 +492,9 @@ func appendStatsEntry(dst []byte, schema *serde.Schema, st *scan.ColStats) ([]by
 	if st.KeysCapped {
 		flags |= statsFlagKeysCapped
 	}
+	if st.Bloom != nil {
+		flags |= statsFlagBloom
+	}
 	dst = append(dst, flags)
 	if st.HasMinMax {
 		for _, bound := range []any{st.Min, st.Max} {
@@ -362,6 +511,14 @@ func appendStatsEntry(dst []byte, schema *serde.Schema, st *scan.ColStats) ([]by
 		for _, k := range st.Keys {
 			dst = binary.AppendUvarint(dst, uint64(len(k)))
 			dst = append(dst, k...)
+		}
+	}
+	if st.Bloom != nil {
+		dst = binary.AppendUvarint(dst, uint64(st.Bloom.K()))
+		words := st.Bloom.Words()
+		dst = binary.AppendUvarint(dst, uint64(len(words)))
+		for _, w := range words {
+			dst = binary.LittleEndian.AppendUint64(dst, w)
 		}
 	}
 	return dst, nil
@@ -431,7 +588,7 @@ func parseStatsHead(blob []byte, schema *serde.Schema) (*scan.ColStats, *statsCu
 	}
 	c := &statsCursor{buf: blob, pos: len(statsMagic)}
 	switch string(blob[:len(statsMagic)]) {
-	case statsMagicV2:
+	case statsMagicV3, statsMagicV2:
 		var agg scan.ColStats
 		if err := parseStatsEntry(c, schema, &agg); err != nil {
 			return nil, nil, err
@@ -507,6 +664,30 @@ func parseStatsEntry(c *statsCursor, schema *serde.Schema, st *scan.ColStats) er
 			keys = append(keys, string(kb))
 		}
 		st.Keys = keys
+	}
+	if flags&statsFlagBloom != 0 {
+		k, err := c.uvarint("bloom k")
+		if err != nil {
+			return err
+		}
+		nw, err := c.uvarint("bloom word count")
+		if err != nil {
+			return err
+		}
+		if k < 1 || k > 64 || nw == 0 || nw > statsMaxBloomWords {
+			return fmt.Errorf("colfile: implausible bloom geometry (k=%d words=%d)", k, nw)
+		}
+		wb, err := c.bytes(int(nw)*8, "bloom words")
+		if err != nil {
+			return err
+		}
+		words := make([]uint64, nw)
+		for j := range words {
+			words[j] = binary.LittleEndian.Uint64(wb[j*8:])
+		}
+		// Invalid geometry (non-power-of-two blocks) yields a nil filter:
+		// the entry stays usable, the filter just refutes nothing.
+		st.Bloom = scan.NewBloomFromWords(int(k), words)
 	}
 	return nil
 }

@@ -1,0 +1,119 @@
+package colfile
+
+import (
+	"fmt"
+	"testing"
+
+	"colmr/internal/serde"
+)
+
+// The stats-section parser is exposed to on-disk bytes (and, through
+// FileStats, to bytes no reader has validated) and must never panic. The
+// seed corpus covers the full footer lineage — legacy CFST, aggregate-first
+// CFS2, bloom-bearing CFS3 — plus bloom present/absent/saturated entries
+// and truncations of each. Runs under plain `go test`; explores further
+// under `go test -fuzz FuzzStatsSection`.
+
+// fuzzSeedSections builds one valid section per format generation for the
+// given schema, from real collector output.
+func fuzzSeedSections(schema *serde.Schema, gen func(i int) any) ([][]byte, error) {
+	bloomed := newStatsCollector(schema, 20, 1<<10)
+	plain := newStatsCollector(schema, 20, 0)
+	for i := 0; i < 100; i++ {
+		bloomed.observe(gen(i))
+		plain.observe(gen(i))
+	}
+	bloomed.cut()
+	plain.cut()
+	var out [][]byte
+	legacy, err := appendStatsSection(nil, schema, plain.entries)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, legacy)
+	v2, err := appendStatsSectionV2(nil, schema, mergeEntries(plain.entries), plain.entries)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, v2)
+	v3, err := appendStatsSectionV3(nil, schema, mergeEntries(bloomed.entries), bloomed.entries)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, v3)
+	return out, nil
+}
+
+func FuzzStatsSection(f *testing.F) {
+	strSchema := serde.String()
+	mapSchema := serde.MapOf(serde.Int())
+	strSeeds, err := fuzzSeedSections(strSchema, func(i int) any { return fmt.Sprintf("value-%d", i) })
+	if err != nil {
+		f.Fatal(err)
+	}
+	mapSeeds, err := fuzzSeedSections(mapSchema, func(i int) any {
+		return map[string]any{fmt.Sprintf("k%d", i%7): int32(i)}
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range append(strSeeds, mapSeeds...) {
+		f.Add(s)
+		f.Add(s[:len(s)/2]) // truncated mid-entry
+		f.Add(s[:5])        // magic plus one byte
+	}
+	// A CFS3 aggregate whose filter is all ones (saturated on disk: a
+	// parser must take it as-is, saturation is a write-side policy).
+	sat := []byte(statsMagicV3)
+	sat = append(sat, 1, 0, 1) // rows=1 nulls=0 distinct=1
+	sat = append(sat, 1<<4)    // flags: bloom only
+	sat = append(sat, 7, 8)    // k=7, 8 words (one block)
+	for i := 0; i < 64; i++ {
+		sat = append(sat, 0xFF)
+	}
+	sat = append(sat, 0) // zero groups
+	f.Add(sat)
+	// Absurd bloom geometry: word count far past the file cap.
+	huge := []byte(statsMagicV3)
+	huge = append(huge, 1, 0, 1, 1<<4, 7, 0xFF, 0xFF, 0xFF, 0x7F)
+	f.Add(huge)
+	f.Add([]byte("CFS9junk"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, schema := range []*serde.Schema{strSchema, mapSchema} {
+			entries, agg, err := parseStatsSection(data, schema)
+			if err != nil {
+				continue
+			}
+			// Whatever parses must re-encode and re-parse to the same
+			// number of entries with the same geometry — the round trip
+			// the writer depends on.
+			var blob []byte
+			if agg != nil {
+				blob, err = appendStatsSectionV3(nil, schema, agg, entries)
+			} else {
+				blob, err = appendStatsSection(nil, schema, entries)
+			}
+			if err != nil {
+				// Decoded values of another schema's kind can fail to
+				// re-encode under this one; that is a caller-side type
+				// error, not corruption.
+				continue
+			}
+			again, _, err := parseStatsSection(blob, schema)
+			if err != nil {
+				t.Fatalf("re-encoded section does not parse: %v", err)
+			}
+			if len(again) != len(entries) {
+				t.Fatalf("round trip changed entry count: %d -> %d", len(entries), len(again))
+			}
+			for i := range again {
+				if again[i].st.Rows != entries[i].st.Rows ||
+					(again[i].st.Bloom == nil) != (entries[i].st.Bloom == nil) {
+					t.Fatalf("round trip changed entry %d", i)
+				}
+			}
+		}
+	})
+}

@@ -302,7 +302,7 @@ func TestFileStatsBackwardCompat(t *testing.T) {
 	schema := serde.Int()
 	const n = 100
 	// Hand-assemble a Plain file the way the pre-trailer writer did.
-	zm := newStatsCollector(schema, 40)
+	zm := newStatsCollector(schema, 40, 0)
 	var data []byte
 	data = appendHeader(data, header{layout: Plain})
 	for i := 0; i < n; i++ {

@@ -37,7 +37,7 @@ func NewWriter(w io.Writer, schema *serde.Schema, opts Options, stats *sim.CPUSt
 	switch opts.Layout {
 	case Plain:
 		return &plainWriter{w: w, schema: schema, stats: stats,
-			zm: newStatsWriter(schema, opts.StatsEvery)}, nil
+			zm: newStatsWriter(schema, opts.StatsEvery, opts.NoBloom)}, nil
 	case Block:
 		codec, err := compress.ByName(opts.Codec)
 		if err != nil {
@@ -50,7 +50,7 @@ func NewWriter(w io.Writer, schema *serde.Schema, opts Options, stats *sim.CPUSt
 			every = -1
 		}
 		return &blockWriter{w: w, schema: schema, stats: stats, codec: codec, blockBytes: opts.BlockBytes,
-			zm: newStatsWriter(schema, every)}, nil
+			zm: newStatsWriter(schema, every, opts.NoBloom)}, nil
 	case SkipList, DCSL:
 		return &slWriter{
 			w:      w,
@@ -58,7 +58,7 @@ func NewWriter(w io.Writer, schema *serde.Schema, opts Options, stats *sim.CPUSt
 			stats:  stats,
 			levels: opts.Levels,
 			dcsl:   opts.Layout == DCSL,
-			zm:     newStatsWriter(schema, opts.StatsEvery),
+			zm:     newStatsWriter(schema, opts.StatsEvery, opts.NoBloom),
 		}, nil
 	}
 	return nil, fmt.Errorf("colfile: unsupported layout %v", opts.Layout)

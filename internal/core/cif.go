@@ -63,6 +63,9 @@ func resolveSpec(conf *mapred.JobConf) (scan.Spec, error) {
 	if !spec.NoElide {
 		spec.NoElide = !scan.ElisionFromConf(conf)
 	}
+	if !spec.NoBloom {
+		spec.NoBloom = !scan.BloomFromConf(conf)
+	}
 	return spec, nil
 }
 
@@ -191,7 +194,7 @@ func (f *InputFormat) plannedSplits(fs *hdfs.FileSystem, conf *mapred.JobConf, a
 	}
 	var out []mapred.Split
 	for _, ds := range plan.datasets {
-		per := f.splitSize(fs, plan.dps, plan.pred, ds.kept)
+		per := f.splitSize(fs, plan.dps, plan.pred, plan.bloom, ds.kept)
 		for i := 0; i < len(ds.kept); i += per {
 			j := i + per
 			if j > len(ds.kept) {
@@ -211,7 +214,8 @@ type dirPlan struct {
 	columns  []string // locality columns: projection plus filter columns
 	pred     scan.Predicate
 	elide    bool
-	dps      int // resolved directories-per-split (spec overrides format)
+	bloom    bool // Bloom consultation (pruning and sizing) enabled
+	dps      int  // resolved directories-per-split (spec overrides format)
 	report   scan.PruneReport
 }
 
@@ -236,6 +240,7 @@ func (f *InputFormat) planDirs(fs *hdfs.FileSystem, conf *mapred.JobConf, allowE
 	columns := spec.Columns
 	pred := spec.Predicate
 	planner := scan.NewPlanner(pred)
+	planner.SetBloom(spec.Bloom())
 	// Locality ranks by the files a map task will actually open: the
 	// projection plus any filter-only predicate columns (Columns dedups
 	// against the slice it extends).
@@ -244,6 +249,7 @@ func (f *InputFormat) planDirs(fs *hdfs.FileSystem, conf *mapred.JobConf, allowE
 	}
 	plan.pred = pred
 	plan.columns = columns
+	plan.bloom = spec.Bloom()
 	plan.dps = f.dirsPerSplit(spec)
 	plan.report = scan.PruneReport{Columns: planner.FilterColumns()}
 	plan.elide = allowElide && pred != nil && spec.Elide()
@@ -280,9 +286,9 @@ func (f *InputFormat) dirsPerSplit(spec scan.Spec) int {
 
 // splitSize resolves the directories-per-split for one run of directories:
 // the configured constant, or the selectivity-estimated size in auto mode.
-func (f *InputFormat) splitSize(fs *hdfs.FileSystem, dps int, pred scan.Predicate, dirs []string) int {
+func (f *InputFormat) splitSize(fs *hdfs.FileSystem, dps int, pred scan.Predicate, bloom bool, dirs []string) int {
 	if dps == AutoDirsPerSplit {
-		return autoDirsPerSplit(fs, pred, dirs)
+		return autoDirsPerSplit(fs, pred, bloom, dirs)
 	}
 	if dps < 1 {
 		return 1
@@ -296,13 +302,13 @@ func (f *InputFormat) splitSize(fs *hdfs.FileSystem, dps int, pred scan.Predicat
 // grows as rows/matches, clamped to the surviving run. Estimation failure
 // (no statistics, unreadable footers) falls back to the constant default —
 // sizing is a costing decision, never a correctness one.
-func autoDirsPerSplit(fs *hdfs.FileSystem, pred scan.Predicate, dirs []string) int {
+func autoDirsPerSplit(fs *hdfs.FileSystem, pred scan.Predicate, bloom bool, dirs []string) int {
 	if pred == nil || len(dirs) < 2 {
 		return 1
 	}
 	var rows, matches float64
 	for _, dir := range dirs {
-		r, est, ok := estimateDirMatches(fs, dir, pred)
+		r, est, ok := estimateDirMatches(fs, dir, pred, bloom)
 		if !ok {
 			return 1
 		}
@@ -330,7 +336,7 @@ func autoDirsPerSplit(fs *hdfs.FileSystem, pred scan.Predicate, dirs []string) i
 // phase, not a pruning one: its footer reads are uncharged metadata (and
 // not counted in PruneReport.FilesChecked, which reports the scheduler
 // tier's consultations).
-func estimateDirMatches(fs *hdfs.FileSystem, dir string, pred scan.Predicate) (rows, est float64, ok bool) {
+func estimateDirMatches(fs *hdfs.FileSystem, dir string, pred scan.Predicate, bloom bool) (rows, est float64, ok bool) {
 	schema, err := readSplitSchema(fs, dir)
 	if err != nil {
 		return 0, 0, false
@@ -344,7 +350,11 @@ func estimateDirMatches(fs *hdfs.FileSystem, dir string, pred scan.Predicate) (r
 		}
 		return st
 	}
-	frac := scan.EstimateFraction(pred, wrapped)
+	view := scan.StatsFunc(wrapped)
+	if !bloom {
+		view = scan.StripBloom(view)
+	}
+	frac := scan.EstimateFraction(pred, view)
 	if maxRows == 0 {
 		// The estimate consulted no statistics; count records directly from
 		// any column's footer so the row total stays real.
@@ -451,7 +461,7 @@ func (f *InputFormat) Open(fs *hdfs.FileSystem, conf *mapred.JobConf, split mapr
 	// The reader's file tier runs only for splits the scheduler has not
 	// already judged (and not at all when elision is disabled).
 	fileTier := spec.Elide() && !csplit.Judged
-	return newReader(fs, csplit.Dirs, columns, spec.Lazy, spec.Predicate, fileTier, conf.Cache, node, stats)
+	return newReader(fs, csplit.Dirs, columns, spec.Lazy, spec.Predicate, fileTier, spec.Bloom(), conf.Cache, node, stats)
 }
 
 // Reader iterates the records of a CIF split. It is also usable directly
@@ -467,6 +477,10 @@ type Reader struct {
 	// directories. The group and value tiers run whenever a predicate is
 	// set.
 	elide bool
+	// noBloom mirrors scan.Spec.NoBloom into the column readers, whose
+	// DCSL key prober consults group Bloom filters on its own (the
+	// planner's tiers carry the setting themselves).
+	noBloom bool
 	// planner drives the conservative pruning tiers (file and group) and
 	// owns the predicate; it shares one implementation with the split
 	// scheduler (internal/scan).
@@ -513,7 +527,7 @@ type cursor struct {
 	cachedPos int64
 }
 
-func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, pred scan.Predicate, elide bool, cache *hdfs.ScanCache, node hdfs.NodeID, stats *sim.TaskStats) (*Reader, error) {
+func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, pred scan.Predicate, elide, bloom bool, cache *hdfs.ScanCache, node hdfs.NodeID, stats *sim.TaskStats) (*Reader, error) {
 	schema, err := readSplitSchema(fs, dirs[0])
 	if err != nil {
 		return nil, err
@@ -545,6 +559,7 @@ func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, 
 		stats:          stats,
 		lazy:           lazy,
 		elide:          elide,
+		noBloom:        !bloom,
 		planner:        scan.NewPlanner(pred),
 		cache:          cache,
 		schema:         schema,
@@ -556,6 +571,7 @@ func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, 
 		lastCounted:    -1,
 		lastCountedDir: -1,
 	}
+	r.planner.SetBloom(bloom)
 	r.lrec = &LazyRecord{reader: r}
 	r.eval = evalCtx{r}
 	if err := r.nextDir(); err != nil {
@@ -615,6 +631,7 @@ func (r *Reader) openDir(dir string) (pruned bool, err error) {
 	}
 	selective := r.planner.Predicate() != nil
 	ropts, collide := dirCursorOptions(r.fs, len(r.allCols), selective)
+	ropts.NoBloom = r.noBloom
 	files := make([]*hdfs.FileReader, 0, len(r.allCols))
 	closeAll := func() {
 		for _, hr := range files {

@@ -1,21 +1,3 @@
-// Package core implements the paper's primary contribution: CIF/COF, the
-// column-oriented storage format for MapReduce (Sections 4 and 5).
-//
-// A dataset loaded with COF (ColumnOutputFormat) is a directory of
-// split-directories named s0, s1, ... Each split-directory holds one file
-// per top-level column plus a _schema file, and is the unit of scheduling:
-// CIF (ColumnInputFormat) assigns one or more split-directories to each map
-// task. Installing hdfs.ColumnPlacementPolicy co-locates every file of a
-// split-directory on the same replica set, so map tasks read all columns
-// locally (Section 4.2, Figure 3b).
-//
-// Projection is pushed into CIF with SetColumns, after which unprojected
-// column files are never opened — the I/O elimination that drives the
-// paper's order-of-magnitude speedups. Record materialization is either
-// eager (every projected column deserialized per record) or lazy
-// (Section 5): a LazyRecord tracks the split-level curPos and per-column
-// lastPos, deserializing a column only when the map function calls Get,
-// with skip-list column layouts making the intervening skips cheap.
 package core
 
 import (

@@ -53,6 +53,14 @@ func (b *ScanBuilder) Elide(on bool) *ScanBuilder {
 	return b
 }
 
+// Bloom enables or disables Bloom-filter consultation at every pruning
+// tier (default on). Filters already written into stats footers are simply
+// not consulted when off, restoring zone-map-only pruning.
+func (b *ScanBuilder) Bloom(on bool) *ScanBuilder {
+	b.spec.NoBloom = !on
+	return b
+}
+
 // DirsPerSplit assigns this many split-directories to one map task
 // (AutoDirsPerSplit sizes tasks from estimated selectivity).
 func (b *ScanBuilder) DirsPerSplit(n int) *ScanBuilder {

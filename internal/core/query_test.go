@@ -19,6 +19,7 @@ func TestWrappersMatchBuilder(t *testing.T) {
 		Where(pred).
 		Lazy(true).
 		Elide(false).
+		Bloom(false).
 		DirsPerSplit(AutoDirsPerSplit).
 		Conf()
 
@@ -27,6 +28,7 @@ func TestWrappersMatchBuilder(t *testing.T) {
 	SetLazy(&wrapped, true)
 	scan.SetPredicate(&wrapped, pred)
 	scan.SetElision(&wrapped, false)
+	scan.SetBloom(&wrapped, false)
 	wrapped.ScanSpec().DirsPerSplit = AutoDirsPerSplit
 
 	if !wrapped.Scan.Equal(built.Scan) {

@@ -43,12 +43,16 @@ func (r *Reader) qualifies() (bool, error) {
 		// The planner's group-tier verdict is scoped to the narrowest
 		// group consulted: on NoMatch the scan loop steps past it; on
 		// MayMatch per-record evaluation runs without re-consulting zone
-		// maps until curPos crosses the bound.
-		tri, end := r.planner.PruneGroup(r.curPos, r.total, r.groupStats)
+		// maps until curPos crosses the bound. byBloom splits out the
+		// proofs only a Bloom filter could make.
+		tri, end, byBloom := r.planner.PruneGroup(r.curPos, r.total, r.groupStats)
 		if tri == scan.NoMatch {
 			if r.stats != nil {
 				r.stats.GroupsPruned++
 				r.stats.RecordsPruned += end - r.curPos
+				if byBloom {
+					r.stats.BloomPruned++
+				}
 			}
 			r.curPos = end - 1
 			return false, nil

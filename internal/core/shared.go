@@ -94,9 +94,10 @@ func (f *InputFormat) SharedSplits(fs *hdfs.FileSystem, confs []*mapred.JobConf)
 			}
 			union := scan.NewUnion(runPreds)
 			// The run's task sizing follows the first member's resolved
-			// directories-per-split; the batch scheduler only groups jobs
+			// directories-per-split (and its bloom setting, which only
+			// sharpens the estimate); the batch scheduler only groups jobs
 			// whose sizing agrees.
-			per := f.splitSize(fs, plans[ms[0]].dps, union.Shared, run)
+			per := f.splitSize(fs, plans[ms[0]].dps, union.Shared, plans[ms[0]].bloom, run)
 			cols := unionColumns(plans, ms)
 			for a := 0; a < len(run); a += per {
 				b := a + per
@@ -176,11 +177,15 @@ func (f *InputFormat) OpenShared(fs *hdfs.FileSystem, confs []*mapred.JobConf, s
 		dirIdx: -1,
 	}
 	preds := make([]scan.Predicate, len(members))
+	anyNoBloom := false
 	for k, mi := range members {
 		conf := confs[mi]
 		spec, err := resolveSpec(conf)
 		if err != nil {
 			return nil, err
+		}
+		if spec.NoBloom {
+			anyNoBloom = true
 		}
 		if sr.cache == nil {
 			// All members of a session batch carry the same cache; take the
@@ -218,11 +223,22 @@ func (f *InputFormat) OpenShared(fs *hdfs.FileSystem, confs []*mapred.JobConf, s
 			planner: scan.NewPlanner(pred),
 			stats:   memberStats[k],
 		}
+		// The member's replay planner carries the member's own bloom
+		// setting, so its counters match a solo run exactly.
+		m.planner.SetBloom(spec.Bloom())
 		m.lrec = &sharedLazyRecord{sr: sr, m: m}
 		sr.members = append(sr.members, m)
 	}
 	union := scan.NewUnion(preds)
 	sr.planner = scan.NewPlanner(union.Shared)
+	// The union tier may prune a region only where every member's own
+	// replay also proves it empty (the region-consistency argument above).
+	// A member that disabled bloom consultation prunes less, so the union
+	// must not out-prune it: one dissenter disables the union's blooms
+	// (and the cursor set's DCSL prober, whose physical charges would
+	// otherwise differ from that member's solo run).
+	sr.noBloom = anyNoBloom
+	sr.planner.SetBloom(!anyNoBloom)
 	sr.evalPos = make([]int64, union.NumGroups)
 	sr.evalOK = make([]bool, union.NumGroups)
 	for k, m := range sr.members {
@@ -274,6 +290,7 @@ type SharedReader struct {
 	schema  *serde.Schema
 	members []*sharedMember
 	planner *scan.Planner // union predicate
+	noBloom bool          // true when any member disabled bloom consultation
 	allCols []string
 	needers []int // members needing each column
 
@@ -357,6 +374,7 @@ func (sr *SharedReader) nextDir() error {
 func (sr *SharedReader) openDir(dir string) error {
 	selective := sr.planner.Predicate() != nil
 	ropts, collide := dirCursorOptions(sr.fs, len(sr.allCols), selective)
+	ropts.NoBloom = sr.noBloom
 	sr.colIO = make([]sim.IOStats, len(sr.allCols))
 	closeAll := func() {
 		for _, c := range sr.cursors {
@@ -445,10 +463,13 @@ func (sr *SharedReader) Next() (any, []any, []int, bool, error) {
 		// filter columns, so each member's own accounting re-proves (and
 		// counts) the skip at its own granularity below.
 		if sr.planner.Predicate() != nil && pos >= sr.pruneValidTo {
-			tri, end := sr.planner.PruneGroup(pos, sr.total, sr.groupStats)
+			tri, end, byBloom := sr.planner.PruneGroup(pos, sr.total, sr.groupStats)
 			if tri == scan.NoMatch {
 				sr.shared.GroupsPruned++
 				sr.shared.RecordsPruned += end - pos
+				if byBloom {
+					sr.shared.BloomPruned++
+				}
 				sr.curPos = end - 1
 				continue
 			}
@@ -501,10 +522,13 @@ func (sr *SharedReader) advanceMember(m *sharedMember, limit int64) {
 			m.acctPos = end
 			continue
 		}
-		tri, end := m.planner.PruneGroup(m.acctPos, sr.total, sr.groupStats)
+		tri, end, byBloom := m.planner.PruneGroup(m.acctPos, sr.total, sr.groupStats)
 		if tri == scan.NoMatch {
 			m.stats.GroupsPruned++
 			m.stats.RecordsPruned += end - m.acctPos
+			if byBloom {
+				m.stats.BloomPruned++
+			}
 			m.acctPos = end
 			continue
 		}
@@ -524,10 +548,13 @@ func (sr *SharedReader) memberWants(m *sharedMember, pos int64) bool {
 		return false // the member's own tier pruned past pos
 	}
 	if m.acctPos >= m.validTo {
-		tri, end := m.planner.PruneGroup(pos, sr.total, sr.groupStats)
+		tri, end, byBloom := m.planner.PruneGroup(pos, sr.total, sr.groupStats)
 		if tri == scan.NoMatch {
 			m.stats.GroupsPruned++
 			m.stats.RecordsPruned += end - pos
+			if byBloom {
+				m.stats.BloomPruned++
+			}
 			m.acctPos = end
 			return false
 		}

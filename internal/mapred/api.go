@@ -1,12 +1,3 @@
-// Package mapred implements a Hadoop-like MapReduce engine over the
-// simulated HDFS: InputFormat/RecordReader/OutputFormat extension points
-// (the same abstractions the paper's CIF/COF plug into, Section 2), a
-// locality-aware split scheduler, parallel map execution, and a
-// hash-partitioned sort-merge shuffle feeding reduce tasks.
-//
-// Map and reduce tasks execute for real, in-process; every task fills a
-// sim.TaskStats with its I/O and CPU counters, which the benchmark
-// harnesses price with the cluster cost model.
 package mapred
 
 import (

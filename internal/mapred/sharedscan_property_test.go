@@ -141,6 +141,11 @@ func bpJob(rng *rand.Rand, schema *serde.Schema, dataset, out string) *mapred.Jo
 	if rng.Intn(4) == 0 {
 		scan.SetElision(&conf, false)
 	}
+	if rng.Intn(4) == 0 {
+		// The bloom dimension: batches mix bloom-on and bloom-off members,
+		// forcing the union tier to stay conservative for the dissenter.
+		scan.SetBloom(&conf, false)
+	}
 
 	job := &mapred.Job{
 		Conf:  conf,
@@ -179,10 +184,10 @@ func bpJob(rng *rand.Rand, schema *serde.Schema, dataset, out string) *mapred.Jo
 // logicalStats projects the per-job counters that must be identical between
 // solo and batched execution (physical I/O and CPU are charged to the
 // batch's shared stats instead).
-func logicalStats(st sim.TaskStats) [7]int64 {
-	return [7]int64{
+func logicalStats(st sim.TaskStats) [8]int64 {
+	return [8]int64{
 		st.RecordsProcessed, st.RecordsPruned, st.RecordsFiltered,
-		st.GroupsPruned, st.SplitsPruned, st.OutputRecords, st.OutputBytes,
+		st.GroupsPruned, st.BloomPruned, st.SplitsPruned, st.OutputRecords, st.OutputBytes,
 	}
 }
 

@@ -25,6 +25,13 @@ type Spec struct {
 	// SetElision; the switch exists so output equivalence is testable and
 	// regressions bisectable.
 	NoElide bool
+	// NoBloom disables Bloom-filter consultation at every pruning tier
+	// (scheduler, file, group, and the DCSL key prober), restoring
+	// zone-map-only pruning. The zero value — blooms on — is the default.
+	// Like NoElide it is a read-side switch: filters already written into
+	// stats footers are simply not consulted, so outputs must be identical
+	// either way (the property tests' bloom dimension).
+	NoBloom bool
 	// DirsPerSplit assigns this many split-directories to one map task,
 	// overriding the input format's own setting when non-zero
 	// (core.AutoDirsPerSplit sizes tasks from estimated selectivity).
@@ -33,6 +40,9 @@ type Spec struct {
 
 // Elide reports whether scheduler-tier split elision is enabled.
 func (s *Spec) Elide() bool { return !s.NoElide }
+
+// Bloom reports whether Bloom-filter consultation is enabled.
+func (s *Spec) Bloom() bool { return !s.NoBloom }
 
 // Clone returns a copy sharing the (immutable) predicate and a fresh
 // projection slice.
@@ -66,7 +76,8 @@ func (s *Spec) Equal(o *Spec) bool {
 	if s.Predicate != nil && s.Predicate.String() != o.Predicate.String() {
 		return false
 	}
-	return s.Lazy == o.Lazy && s.NoElide == o.NoElide && s.DirsPerSplit == o.DirsPerSplit
+	return s.Lazy == o.Lazy && s.NoElide == o.NoElide && s.NoBloom == o.NoBloom &&
+		s.DirsPerSplit == o.DirsPerSplit
 }
 
 // Conf is the slice of mapred.JobConf this package needs: free-form string
@@ -145,4 +156,24 @@ func SetElision(conf Conf, on bool) {
 // (the default).
 func ElisionFromConf(conf Conf) bool {
 	return conf.Get(ElideProp) != "false"
+}
+
+// BloomProp is the job property controlling Bloom-filter consultation
+// ("false" disables it; anything else, including unset, enables it).
+// Like ElideProp it is consulted only when the typed Spec leaves the
+// setting at its default.
+const BloomProp = "scan.bloom"
+
+// SetBloom enables or disables Bloom-filter pruning for a job — the
+// compatibility wrapper over Spec.NoBloom. Enabling (the default state)
+// clears the legacy prop rather than writing a placeholder value.
+func SetBloom(conf Conf, on bool) {
+	conf.ScanSpec().NoBloom = !on
+	conf.Del(BloomProp)
+}
+
+// BloomFromConf reports whether a specless conf enables Bloom pruning
+// (the default).
+func BloomFromConf(conf Conf) bool {
+	return conf.Get(BloomProp) != "false"
 }

@@ -1,0 +1,60 @@
+// Package scan implements the selection-aware scan subsystem: typed
+// predicates that CIF pushes below record materialization, the per-group
+// statistics vocabulary (zone maps, key universes, Bloom filters) that
+// lets a predicate prove a whole record group irrelevant without
+// decompressing or deserializing it, and the hierarchical Planner that
+// applies those proofs at every tier of the scheduler→file→group→value
+// pipeline.
+//
+// The paper's CIF format (Sections 4-5) pushes *projection* into the
+// storage layer; this package adds *selection*. A Predicate is a tree of
+// comparisons, ranges, string-prefix tests, null checks, map-key-exists
+// tests, and boolean connectives. It supports three progressively cheaper
+// evaluation modes:
+//
+//	Eval      exact, per record, over materialized column values;
+//	Prune     conservative, per record group, over ColStats — NoMatch
+//	          proves the group holds no qualifying record;
+//	MatchAll  conservative, per record group — true proves every record
+//	          in the group qualifies (the dual Prune needs to invert NOT
+//	          soundly).
+//
+// ColStats carries the statistics one record group (or one whole file,
+// after Merge) exposes to Prune: Min/Max bounds, null and distinct
+// counts, the map-key universe, and an optional blocked Bloom filter over
+// the group's byte strings (values for string/bytes columns, keys for map
+// columns). Zone maps decide range shapes; the filter decides equality on
+// unsorted high-cardinality data, where [Min, Max] spans everything and
+// proves nothing. A bloom-negative probe is a proof of absence, so it
+// slots into Prune beside the bounds; Spec.NoBloom (scan.SetBloom)
+// disables consultation for a job without touching written files.
+//
+// Predicates serialize to a small expression language (String/Parse round
+// trip), which is how they travel through mapred.JobConf props and the
+// colscan -where flag; the typed Spec on mapred.JobConf.Scan is the
+// first-class form (see conf.go).
+//
+// Roles in the scheduler→file→group→value pipeline: Planner is the single
+// pruning implementation every consumer drives — the split scheduler's
+// elision tier (core.InputFormat.PlannedSplits), the reader's file tier,
+// and both readers' group tiers — so a proof is identical wherever it
+// fires. EstimateFraction turns the same statistics into selectivity
+// estimates for task sizing and batch costing; estimates never affect
+// correctness, only granularity.
+//
+// Invariants the property tests defend:
+//
+//   - Pushdown equivalence (property_test.go): a pushdown scan returns
+//     exactly the records a full scan plus an in-memory filter returns,
+//     over random schemas, predicates, layouts, and projections — Prune
+//     and MatchAll are proofs, never heuristics.
+//   - Elision equivalence (elision_property_test.go): scans with
+//     scheduler-tier elision on and off, and with Bloom consultation on
+//     and off, return identical records; "records pruned at any tier +
+//     records filtered + records returned == dataset size" holds in every
+//     mode; BloomPruned stays within GroupsPruned and is zero when
+//     consultation is off.
+//   - Serialization round trip: every random predicate travels through
+//     String/Parse unchanged (the pushdown property test routes
+//     predicates through the conf prop).
+package scan

@@ -10,6 +10,12 @@ package scan_test
 // the load order, like a log timestamp), so predicates touching it give the
 // scheduler tier real elision opportunities; predicates over the other
 // columns exercise the no-elision-possible regime.
+//
+// Bloom consultation is a third random dimension: each round draws a bloom
+// setting, both elision arms run under it, and a third arm re-runs with the
+// setting flipped — all three must return identical records, Bloom proofs
+// being proofs. BloomPruned must stay zero when consultation is off and
+// within GroupsPruned when on.
 
 import (
 	"fmt"
@@ -76,7 +82,7 @@ func TestElisionEquivalenceProperty(t *testing.T) {
 		rounds = 8
 	}
 	rng := rand.New(rand.NewSource(20110711))
-	var elisions int64
+	var elisions, bloomPrunes int64
 	for round := 0; round < rounds; round++ {
 		base := randSchema(rng)
 		fields := append(append([]serde.Field{}, base.Fields...), serde.Field{Name: "t", Type: serde.Long()})
@@ -102,6 +108,7 @@ func TestElisionEquivalenceProperty(t *testing.T) {
 		rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
 		proj := names[:1+rng.Intn(len(names))]
 		lazy := rng.Intn(2) == 0
+		bloom := rng.Intn(2) == 0
 		splitRecords := int64(20 + rng.Intn(100)) // 3..12 split-directories
 
 		for vi, opts := range layoutVariants(schema) {
@@ -121,17 +128,19 @@ func TestElisionEquivalenceProperty(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			conf := func(elide bool) *mapred.JobConf {
+			conf := func(elide, bloom bool) *mapred.JobConf {
 				conf := &mapred.JobConf{InputPaths: []string{"/e"}}
 				core.SetColumns(conf, proj...)
 				core.SetLazy(conf, lazy)
 				scan.SetPredicate(conf, pred)
 				scan.SetElision(conf, elide)
+				scan.SetBloom(conf, bloom)
 				return conf
 			}
-			ctx := fmt.Sprintf("round %d %s: pred %s", round, variantName(vi), pred)
-			on, onSt, report := elisionScan(t, fs, conf(true), proj)
-			off, offSt, offReport := elisionScan(t, fs, conf(false), proj)
+			ctx := fmt.Sprintf("round %d %s: pred %s (bloom %v)", round, variantName(vi), pred, bloom)
+			on, onSt, report := elisionScan(t, fs, conf(true, bloom), proj)
+			off, offSt, offReport := elisionScan(t, fs, conf(false, bloom), proj)
+			alt, altSt, _ := elisionScan(t, fs, conf(true, !bloom), proj)
 			elisions += int64(report.SplitsPruned)
 			if offReport.SplitsPruned != 0 {
 				t.Fatalf("%s: elision disabled but %d splits pruned", ctx, offReport.SplitsPruned)
@@ -139,24 +148,50 @@ func TestElisionEquivalenceProperty(t *testing.T) {
 			if len(on) != len(off) {
 				t.Fatalf("%s: elision returned %d records, baseline %d", ctx, len(on), len(off))
 			}
+			if len(alt) != len(on) {
+				t.Fatalf("%s: flipping bloom changed the result: %d records vs %d", ctx, len(alt), len(on))
+			}
 			for i := range on {
 				for j, col := range proj {
 					if !serde.ValuesEqual(schema.Field(col), on[i][j], off[i][j]) {
 						t.Fatalf("%s: match %d column %s differs: %v vs %v", ctx, i, col, on[i][j], off[i][j])
 					}
+					if !serde.ValuesEqual(schema.Field(col), on[i][j], alt[i][j]) {
+						t.Fatalf("%s: match %d column %s differs across bloom settings: %v vs %v",
+							ctx, i, col, on[i][j], alt[i][j])
+					}
 				}
 			}
-			for mode, st := range map[string]sim.TaskStats{"elision": onSt, "baseline": offSt} {
+			for mode, st := range map[string]sim.TaskStats{"elision": onSt, "baseline": offSt, "bloom-flipped": altSt} {
 				if st.RecordsPruned+st.RecordsFiltered+int64(len(on)) != int64(records) {
 					t.Fatalf("%s: %s: pruned %d + filtered %d + returned %d != total %d",
 						ctx, mode, st.RecordsPruned, st.RecordsFiltered, len(on), records)
+				}
+				if st.BloomPruned > st.GroupsPruned {
+					t.Fatalf("%s: %s: BloomPruned %d exceeds GroupsPruned %d",
+						ctx, mode, st.BloomPruned, st.GroupsPruned)
+				}
+			}
+			// Arms that ran with consultation off must attribute nothing to
+			// the filter, whichever arm that is this round; the bloom-on
+			// arms feed the liveness counter.
+			armBloom := map[string]bool{"elision": bloom, "baseline": bloom, "bloom-flipped": !bloom}
+			for mode, st := range map[string]sim.TaskStats{"elision": onSt, "baseline": offSt, "bloom-flipped": altSt} {
+				if armBloom[mode] {
+					bloomPrunes += st.BloomPruned
+				} else if st.BloomPruned != 0 {
+					t.Fatalf("%s: %s: bloom disabled but BloomPruned = %d", ctx, mode, st.BloomPruned)
 				}
 			}
 		}
 	}
 	// The clustered column must have given the scheduler real work at
-	// least somewhere across the random rounds.
+	// least somewhere across the random rounds, and the bloom dimension
+	// must have produced at least one bloom-decisive group proof.
 	if elisions == 0 {
 		t.Error("no split was ever elided across all rounds — the clustered column is not driving the scheduler tier")
+	}
+	if bloomPrunes == 0 && !testing.Short() {
+		t.Error("no group was ever bloom-pruned across all rounds — the bloom dimension is not driving the group tier")
 	}
 }

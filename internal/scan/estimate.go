@@ -51,7 +51,10 @@ func clampFraction(f float64) float64 {
 func estimateFraction(p Predicate, stats StatsFunc) float64 {
 	// The conservative duals give exact answers at the extremes; checking
 	// them first keeps the estimator consistent with pruning (a group the
-	// planner elides always estimates to zero).
+	// planner elides always estimates to zero). Because Prune consults
+	// Bloom filters, a bloom-negative equality estimates to exactly 0 here
+	// — before the 1/Distinct uniform-spread guess below ever runs.
+	// Callers honoring Spec.NoBloom pass a StripBloom-wrapped source.
 	if p.Prune(stats) == NoMatch {
 		return 0
 	}

@@ -21,8 +21,9 @@ import "fmt"
 // Planner drives conservative pruning for one predicate. A nil Planner (or
 // a Planner over a nil predicate) never prunes, so callers need no guards.
 type Planner struct {
-	pred Predicate
-	cols []string
+	pred    Predicate
+	cols    []string
+	noBloom bool
 }
 
 // NewPlanner returns a planner for p. p may be nil.
@@ -32,6 +33,41 @@ func NewPlanner(p Predicate) *Planner {
 		pl.cols = p.Columns(nil)
 	}
 	return pl
+}
+
+// SetBloom enables or disables Bloom-filter consultation for every tier
+// this planner decides (default on). Disabling restores zone-map-only
+// pruning exactly — the planner strips filters from the statistics before
+// the predicate sees them — which is what makes bloom-on vs bloom-off
+// output equivalence testable and regressions bisectable, mirroring
+// Spec.NoElide for the scheduler tier.
+func (p *Planner) SetBloom(on bool) {
+	if p != nil {
+		p.noBloom = !on
+	}
+}
+
+// statsView applies the planner's bloom setting to a statistics source.
+func (p *Planner) statsView(stats StatsFunc) StatsFunc {
+	if p.noBloom {
+		return StripBloom(stats)
+	}
+	return stats
+}
+
+// StripBloom wraps a statistics source, hiding Bloom filters from its
+// consumers (shallow copies; the underlying entries are never mutated).
+// Planner and the selectivity estimator use it to honor Spec.NoBloom.
+func StripBloom(stats StatsFunc) StatsFunc {
+	return func(col string) *ColStats {
+		st := stats(col)
+		if st == nil || st.Bloom == nil {
+			return st
+		}
+		c := *st
+		c.Bloom = nil
+		return &c
+	}
 }
 
 // Predicate returns the planned predicate (nil when none).
@@ -59,7 +95,7 @@ func (p *Planner) PruneFile(stats StatsFunc) Tri {
 	if p == nil || p.pred == nil {
 		return MayMatch
 	}
-	return p.pred.Prune(stats)
+	return p.pred.Prune(p.statsView(stats))
 }
 
 // PruneFileRows is PruneFile plus the accounting protocol both file-tier
@@ -79,7 +115,7 @@ func (p *Planner) PruneFileRows(stats StatsFunc, recordCount func() int64) (prun
 		}
 		return st
 	}
-	if p.pred.Prune(wrapped) != NoMatch {
+	if p.pred.Prune(p.statsView(wrapped)) != NoMatch {
 		return false, 0
 	}
 	if rows == 0 && recordCount != nil {
@@ -100,9 +136,15 @@ type GroupStatsFunc func(column string, rec int64) (*ColStats, int64)
 // extent bound, and [rec, end) lies inside every consulted group. On
 // NoMatch the caller may skip to end; on MayMatch it need not re-consult
 // zone maps before end.
-func (p *Planner) PruneGroup(rec, total int64, group GroupStatsFunc) (Tri, int64) {
+//
+// byBloom attributes the proof: true when the NoMatch verdict needed a
+// Bloom filter (the same statistics with filters stripped could not prune),
+// which callers fold into sim.TaskStats.BloomPruned so the sweep can split
+// bloom wins out of GroupsPruned. The re-check runs only on the NoMatch
+// path, over statistics the first pass already loaded.
+func (p *Planner) PruneGroup(rec, total int64, group GroupStatsFunc) (tri Tri, end int64, byBloom bool) {
 	if p == nil || p.pred == nil {
-		return MayMatch, total
+		return MayMatch, total, false
 	}
 	minEnd := total
 	fn := func(col string) *ColStats {
@@ -115,10 +157,11 @@ func (p *Planner) PruneGroup(rec, total int64, group GroupStatsFunc) (Tri, int64
 		}
 		return st
 	}
-	if p.pred.Prune(fn) == NoMatch && minEnd > rec {
-		return NoMatch, minEnd
+	if p.pred.Prune(p.statsView(fn)) == NoMatch && minEnd > rec {
+		byBloom := !p.noBloom && p.pred.Prune(StripBloom(fn)) != NoMatch
+		return NoMatch, minEnd, byBloom
 	}
-	return MayMatch, minEnd
+	return MayMatch, minEnd, false
 }
 
 // PruneReport summarizes the scheduler tier's decisions for one job: how

@@ -1,23 +1,3 @@
-// Package scan implements the selection-aware scan subsystem: typed
-// predicates that CIF pushes below record materialization, plus the
-// zone-map statistics vocabulary that lets a predicate prove a whole
-// record group irrelevant without decompressing or deserializing it.
-//
-// The paper's CIF format (Sections 4-5) pushes *projection* into the
-// storage layer; this package adds *selection*. A Predicate is a tree of
-// comparisons, ranges, string-prefix tests, null checks, map-key-exists
-// tests, and boolean connectives. It supports three progressively cheaper
-// evaluation modes:
-//
-//	Eval      exact, per record, over materialized column values;
-//	Prune     conservative, per record group, over ColStats zone maps —
-//	          NoMatch proves the group holds no qualifying record;
-//	MatchAll  conservative, per record group — true proves every record
-//	          in the group qualifies (used to invert NOT soundly).
-//
-// Predicates serialize to a small expression language (String/Parse round
-// trip), which is how they travel through mapred.JobConf and the colscan
-// -where flag.
 package scan
 
 import (
@@ -74,11 +54,25 @@ type ColStats struct {
 	HasKeys    bool
 	Keys       []string
 	KeysCapped bool
+	// Bloom is an optional membership filter over the group's byte
+	// strings: column values for string/bytes columns, map keys for map
+	// columns (so Bloom != nil on a HasMinMax column means values, and on
+	// a HasKeys column means keys — the storage layer never blooms other
+	// kinds). A negative probe is a proof of absence; nil means no filter
+	// (older footers, non-bloomed kinds, or a filter dropped for
+	// saturation) and refutes nothing.
+	Bloom *Bloom
 }
 
 // HasKey reports whether the group's key universe contains key. It is only
-// meaningful when HasKeys is true.
+// meaningful when HasKeys is true. The Bloom filter, when present, is
+// consulted first: a negative probe refutes membership without walking the
+// key list (and stays exact even when the list itself is capped, because
+// the filter covers every key observed, not just the retained subset).
 func (s *ColStats) HasKey(key string) bool {
+	if s.Bloom != nil && !s.Bloom.MayContainString(key) {
+		return false
+	}
 	i := sort.SearchStrings(s.Keys, key)
 	return i < len(s.Keys) && s.Keys[i] == key
 }
@@ -105,12 +99,14 @@ func (s *ColStats) Merge(o *ColStats) {
 	}
 	switch {
 	case !oVals:
-		// o contributes no values: bounds and key universe are unchanged.
+		// o contributes no values: bounds, key universe, and filter are
+		// unchanged.
 	case !sVals:
 		// s contributed no values: adopt o's wholesale.
 		s.HasMinMax, s.Min, s.Max = o.HasMinMax, o.Min, o.Max
 		s.HasKeys, s.KeysCapped = o.HasKeys, o.KeysCapped
 		s.Keys = append([]string(nil), o.Keys...)
+		s.Bloom = o.Bloom.Clone()
 	default:
 		if s.HasMinMax && o.HasMinMax {
 			if c, ok := CompareValues(o.Min, s.Min); ok && c < 0 {
@@ -132,6 +128,12 @@ func (s *ColStats) Merge(o *ColStats) {
 			s.HasKeys = true
 			s.KeysCapped = true
 		}
+		// The merged filter must may-contain every byte string either side
+		// may-contain: OR when both carry compatible filters, nil (no
+		// statistic) when either is missing or the union saturates. This
+		// is how per-group filters roll up into the whole-file aggregate
+		// that split elision reads.
+		s.Bloom = mergeBlooms(s.Bloom, o.Bloom)
 	}
 }
 
@@ -504,6 +506,16 @@ func (p *cmpPred) Prune(stats StatsFunc) Tri {
 	if !st.HasMinMax {
 		return MayMatch
 	}
+	// Equality first probes the Bloom filter: on unsorted high-cardinality
+	// string columns [Min, Max] spans the whole domain and proves nothing,
+	// but a negative membership probe is a proof of absence. Gating on
+	// HasMinMax keeps the probe sound: an ordered column's filter holds
+	// values (a map column's holds keys, and map columns never set
+	// HasMinMax), and MayContainValue refutes only string/bytes literals —
+	// the spellings the writer inserted.
+	if p.op == OpEq && st.Bloom != nil && !st.Bloom.MayContainValue(p.lit) {
+		return NoMatch
+	}
 	cMin, okMin := CompareValues(st.Min, p.lit)
 	cMax, okMax := CompareValues(st.Max, p.lit)
 	if !okMin || !okMax {
@@ -792,6 +804,14 @@ func (p *keyPred) Prune(stats StatsFunc) Tri {
 		return MayMatch
 	}
 	if st.Nulls == st.Rows {
+		return NoMatch
+	}
+	// A map column's Bloom filter covers every key observed in the group —
+	// including keys the capped universe dropped — so a negative probe is a
+	// proof even when the key list cannot be. Gating on HasKeys keeps the
+	// probe off value filters: only map columns set HasKeys, and a map
+	// column's filter holds keys.
+	if st.HasKeys && st.Bloom != nil && !st.Bloom.MayContainString(p.key) {
 		return NoMatch
 	}
 	// The stats footer stores the group's key universe; a key outside a

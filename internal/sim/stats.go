@@ -150,11 +150,17 @@ type TaskStats struct {
 	// OutputRecords is the number of key/value pairs emitted.
 	OutputRecords int64
 	// GroupsPruned is the number of record groups a pushdown predicate
-	// proved irrelevant from zone-map statistics alone; RecordsPruned is
+	// proved irrelevant from per-group statistics alone; RecordsPruned is
 	// the records those groups held. Pruned records are charged skips,
 	// not reads: no filter-column value is deserialized for them.
 	GroupsPruned  int64
 	RecordsPruned int64
+	// BloomPruned is the subset of GroupsPruned whose proof needed a Bloom
+	// filter: the same statistics with filters stripped could not prune
+	// the group. It splits bloom wins out of the zone maps' so the bloom
+	// sweep can attribute its savings; it is zero when scan.Spec.NoBloom
+	// disables consultation.
+	BloomPruned int64
 	// RecordsFiltered is the number of records a pushdown predicate
 	// rejected after evaluating filter-column values (the zone maps could
 	// not rule their group out).
@@ -196,6 +202,7 @@ func (s *TaskStats) Add(o TaskStats) {
 	s.OutputRecords += o.OutputRecords
 	s.GroupsPruned += o.GroupsPruned
 	s.RecordsPruned += o.RecordsPruned
+	s.BloomPruned += o.BloomPruned
 	s.RecordsFiltered += o.RecordsFiltered
 	s.SplitsPruned += o.SplitsPruned
 	s.FilesPruned += o.FilesPruned
@@ -214,6 +221,7 @@ func (s *TaskStats) Scale(k float64) {
 	s.OutputRecords = scaleInt(s.OutputRecords, k)
 	s.GroupsPruned = scaleInt(s.GroupsPruned, k)
 	s.RecordsPruned = scaleInt(s.RecordsPruned, k)
+	s.BloomPruned = scaleInt(s.BloomPruned, k)
 	s.RecordsFiltered = scaleInt(s.RecordsFiltered, k)
 	s.SplitsPruned = scaleInt(s.SplitsPruned, k)
 	s.FilesPruned = scaleInt(s.FilesPruned, k)
