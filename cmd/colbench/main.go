@@ -4,8 +4,11 @@
 //
 // Usage:
 //
-//	colbench [-experiment all|figure7|table1|colocation|figure8|figure9|table2|figure10|figure11]
-//	         [-scale F] [-seed N]
+//	colbench [-experiment all|<name>] [-scale F] [-seed N] [-list]
+//
+// The -experiment help and -list enumerate the experiment table; names are
+// never repeated here, so adding an experiment cannot leave the usage text
+// behind.
 //
 // Scale multiplies the laptop-scale record counts each experiment measures
 // before extrapolating to the paper's dataset sizes; 1.0 takes a few
@@ -53,6 +56,8 @@ var experiments = []struct {
 		func(c bench.Config) error { _, err := bench.SharedScan(c); return err }},
 	{"cachereuse", "cache reuse sweep: one session resubmitting a job vs cold runs",
 		func(c bench.Config) error { _, err := bench.CacheReuse(c); return err }},
+	{"serve", "scan server sweep: sharing window vs continuous arrivals (rate x overlap x window)",
+		func(c bench.Config) error { _, err := bench.Serve(c); return err }},
 	{"skiplevels", "ablation: skip-list level configuration",
 		func(c bench.Config) error { _, err := bench.AblationSkipLevels(c); return err }},
 	{"parallelism", "ablation: split granularity vs cluster parallelism (§4.3)",
@@ -63,9 +68,20 @@ var experiments = []struct {
 		func(c bench.Config) error { _, err := bench.AblationRecovery(c); return err }},
 }
 
+// experimentNames renders the -experiment flag's value set from the
+// experiments table, so the usage string cannot drift from what runs.
+func experimentNames() string {
+	names := make([]string, 0, len(experiments)+1)
+	names = append(names, "all")
+	for _, e := range experiments {
+		names = append(names, e.name)
+	}
+	return strings.Join(names, ", ")
+}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (all, figure7, table1, colocation, figure8, figure9, table2, figure10, figure11)")
+		experiment = flag.String("experiment", "all", "experiment to run (one of: "+experimentNames()+")")
 		scale      = flag.Float64("scale", 1.0, "record-count multiplier for the measured sample")
 		seed       = flag.Int64("seed", 2011, "generator and placement seed")
 		list       = flag.Bool("list", false, "list experiments and exit")

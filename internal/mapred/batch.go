@@ -73,6 +73,13 @@ func RunBatch(fs *hdfs.FileSystem, jobs ...*Job) (*BatchResult, error) {
 // Engine is a session-style front end to the batch scheduler: Submit
 // queues jobs, Wait runs everything queued so far as one RunBatch and
 // resolves the pending handles.
+//
+// Submit and Wait are goroutine-safe: concurrent submitters interleave
+// into the pending queue (each lands in whichever Wait round swaps it out),
+// and a handle's resolution is published through its done channel, so
+// Result/WaitResult from any goroutine observe a fully written outcome.
+// The scan server (internal/serve) leans on exactly this: many tenants
+// enqueueing against one long-lived session.
 type Engine struct {
 	fs      *hdfs.FileSystem
 	mu      sync.Mutex
@@ -88,22 +95,35 @@ type PendingJob struct {
 	job  *Job
 	res  *Result
 	err  error
-	done bool
+	done chan struct{}
 }
 
-// Result returns the job's outcome. It errors until the batch has run.
+// Result returns the job's outcome. It errors until the batch has run;
+// WaitResult blocks instead.
 func (p *PendingJob) Result() (*Result, error) {
-	if !p.done {
+	select {
+	case <-p.done:
+		return p.res, p.err
+	default:
 		return nil, fmt.Errorf("mapred: job not run yet — call Engine.Wait first")
 	}
+}
+
+// WaitResult blocks until some Engine.Wait has run the job's batch, then
+// returns its outcome.
+func (p *PendingJob) WaitResult() (*Result, error) {
+	<-p.done
 	return p.res, p.err
 }
 
+// Done returns a channel closed once the job's batch has run.
+func (p *PendingJob) Done() <-chan struct{} { return p.done }
+
 // Submit queues a job for the next Wait. Jobs queued together are
 // co-scheduling candidates: the batch barrier is what lets the engine see
-// overlapping scans before any of them starts.
+// overlapping scans before any of them starts. Safe for concurrent use.
 func (e *Engine) Submit(job *Job) *PendingJob {
-	p := &PendingJob{job: job}
+	p := &PendingJob{job: job, done: make(chan struct{})}
 	e.mu.Lock()
 	e.pending = append(e.pending, p)
 	e.mu.Unlock()
@@ -126,12 +146,12 @@ func (e *Engine) Wait() (*BatchResult, error) {
 	}
 	br, err := runBatch(e.fs, jobs)
 	for i, p := range pend {
-		p.done = true
 		if err != nil {
 			p.err = err
 		} else {
 			p.res = br.Results[i]
 		}
+		close(p.done)
 	}
 	return br, err
 }

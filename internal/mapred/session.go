@@ -47,6 +47,10 @@ func NewSession(fs *hdfs.FileSystem, opts SessionOptions) *Session {
 }
 
 // Submit queues a job for the next Wait, attaching the session cache.
+// Like Engine.Submit it is goroutine-safe: the cache attachment touches
+// only the submitted job's own conf, so concurrent submitters of distinct
+// jobs never share mutable state (one job must not be submitted twice
+// concurrently — it is owned by the engine once handed over).
 func (s *Session) Submit(job *Job) *PendingJob {
 	job.Conf.Cache = s.cache
 	return s.Engine.Submit(job)

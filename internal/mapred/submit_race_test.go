@@ -1,0 +1,127 @@
+package mapred_test
+
+// Concurrent Submit safety: the scan server (internal/serve) funnels many
+// tenants' queries into one Session, so Submit/Wait/Result must be safe
+// from any goroutine. Run under -race (the CI race job does), this test
+// exercises the pending-queue swap, the conf-cache attachment, and the
+// handle-resolution publication concurrently.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"colmr/internal/core"
+	"colmr/internal/hdfs"
+	"colmr/internal/mapred"
+	"colmr/internal/scan"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+)
+
+func TestSessionConcurrentSubmits(t *testing.T) {
+	const records = 200
+	fs := hdfs.New(sim.SingleNode(), 7)
+	schema := serde.RecordOf("R",
+		serde.Field{Name: "t", Type: serde.Long()},
+		serde.Field{Name: "s", Type: serde.String()})
+	w, err := core.NewWriter(fs, "/d", schema, core.LoadOptions{SplitRecords: 40}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < records; i++ {
+		rec := serde.NewRecord(schema)
+		if err := rec.Set("t", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Set("s", fmt.Sprintf("s%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	job := func(hi int64) *mapred.Job {
+		return core.ScanDataset("/d").
+			Columns("s").
+			Where(scan.Le("t", hi)).
+			Job(mapred.MapperFunc(func(_, _ any, _ mapred.Emit) error { return nil }))
+	}
+
+	// Expected match counts, measured solo once per predicate shape.
+	const submitters, perSubmitter = 4, 6
+	want := make([]int64, perSubmitter)
+	for j := 0; j < perSubmitter; j++ {
+		res, err := mapred.Run(fs, job(int64(20+30*j)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[j] = res.Total.RecordsProcessed
+	}
+
+	session := mapred.NewSession(fs, mapred.SessionOptions{CacheBytes: 1 << 20})
+	var resolved atomic.Int64
+	allSubmitted := make(chan struct{})
+
+	// The waiter races Wait against in-flight Submits: each Wait swaps out
+	// whatever pending jobs it observes, and stragglers land in a later
+	// round. One final Wait after the last Submit flushes the tail.
+	waiterDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-allSubmitted:
+				_, err := session.Wait()
+				waiterDone <- err
+				return
+			default:
+				if _, err := session.Wait(); err != nil {
+					waiterDone <- err
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters*perSubmitter)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perSubmitter; j++ {
+				pend := session.Submit(job(int64(20 + 30*j)))
+				// Poll the non-blocking accessor once — it must never
+				// observe a half-written outcome — then block.
+				pend.Result()
+				res, err := pend.WaitResult()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Total.RecordsProcessed != want[j] {
+					errs <- fmt.Errorf("predicate %d matched %d, want %d", j, res.Total.RecordsProcessed, want[j])
+					return
+				}
+				resolved.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(allSubmitted)
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter: %v", err)
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := resolved.Load(); got != submitters*perSubmitter {
+		t.Fatalf("resolved %d of %d submissions", got, submitters*perSubmitter)
+	}
+}

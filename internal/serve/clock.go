@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the server's modeled-time source. Modeled seconds are the same
+// currency sim.CostModel prices work in, so window deadlines, queueing
+// delays, and batch run times all live on one timeline.
+//
+// Two implementations cover the two ways the server runs:
+//
+//   - WallClock (the default) anchors modeled time to real time: one
+//     modeled second per wall second. AfterFunc arms real timers, so a
+//     forming window seals when its deadline passes even if no further
+//     query ever arrives — what a live HTTP server needs.
+//   - ManualClock never advances on its own and never fires timers: window
+//     deadlines are enforced purely by the timestamps of later arrivals
+//     and by Flush/Drain. That makes admission a deterministic function of
+//     the arrival sequence — the discrete-event mode the bench sweep and
+//     the property tests run in.
+type Clock interface {
+	// Now returns the current modeled time in seconds.
+	Now() float64
+	// AfterFunc arranges for fn to be called (from any goroutine) once
+	// modeled time passes t; the returned function cancels. Clocks that
+	// cannot self-advance (ManualClock) return a no-op cancel and never
+	// call fn.
+	AfterFunc(t float64, fn func()) (cancel func())
+}
+
+// WallClock returns a Clock mapping modeled seconds 1:1 onto wall seconds,
+// anchored at the moment of the call.
+func WallClock() Clock { return &wallClock{epoch: time.Now()} }
+
+type wallClock struct{ epoch time.Time }
+
+func (c *wallClock) Now() float64 { return time.Since(c.epoch).Seconds() }
+
+func (c *wallClock) AfterFunc(t float64, fn func()) func() {
+	d := time.Duration((t - c.Now()) * float64(time.Second))
+	if d < 0 {
+		d = 0
+	}
+	tm := time.AfterFunc(d, fn)
+	return func() { tm.Stop() }
+}
+
+// ManualClock is a Clock that advances only when told to: the simulation
+// timebase. Arrival timestamps are read at Enqueue time, so a driver sets
+// the clock, enqueues, sets the clock again — and admission decisions
+// depend only on that sequence.
+type ManualClock struct {
+	mu sync.Mutex
+	t  float64
+}
+
+// Now returns the manually set time.
+func (c *ManualClock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Set advances the clock to t (monotone: earlier values are ignored).
+func (c *ManualClock) Set(t float64) {
+	c.mu.Lock()
+	if t > c.t {
+		c.t = t
+	}
+	c.mu.Unlock()
+}
+
+// AfterFunc on a manual clock never fires: deadlines are enforced by later
+// arrivals' timestamps and by Flush/Drain.
+func (c *ManualClock) AfterFunc(float64, func()) func() { return func() {} }

@@ -1,0 +1,55 @@
+// Package serve turns the batch engine into a service: a long-running,
+// continuously admitting scan server over one mapred.Session — the
+// PowerDrill serving model ("Processing a Trillion Cells per Mouse Click"),
+// where thousands of interactive users multiplex over shared column scans.
+//
+// Shared scans (mapred.RunBatch) require queries to be co-submitted; a
+// production system has queries *arriving*, asynchronously, from many
+// tenants. The server converts arrival overlap into co-submission with an
+// admission window: an arriving query holds its forming batch open for
+// Options.Window modeled seconds, later compatible arrivals merge into it,
+// and the sealed batch runs as one RunBatch over the session — one cursor
+// set per shared split-directory, one scan cache across every tenant.
+//
+// Architecture (single-dispatcher, worker-pool-over-channels):
+//
+//	Enqueue/HTTP ─> events channel ─> dispatcher goroutine
+//	                                   ├─ per-tenant FIFO queues (quota)
+//	                                   ├─ round-robin admission -> forming window
+//	                                   └─ sealed batches ─> MaxBatches workers
+//	                                                          └─ Session.RunBatch
+//
+// Every admission decision — window open/seal, quota, round-robin order —
+// happens in the dispatcher goroutine in event order. Under a ManualClock
+// (no timers; deadlines enforced by later arrivals' timestamps and by
+// Flush/Drain) serving is therefore a deterministic function of the arrival
+// sequence, which is how bench.Serve produces reproducible sweeps and how
+// the property test replays schedules.
+//
+// Fairness: Options.TenantQuota bounds one tenant's in-flight queries;
+// excess arrivals wait in that tenant's FIFO and admission round-robins
+// across tenants as capacity frees, so a burst from one tenant cannot
+// starve the rest. Graceful drain: Drain stops admission, seals the window,
+// flushes quota-waiting queries (still batched together), and returns when
+// everything has been served.
+//
+// Invariants the property test (TestServeAdmissionInvarianceProperty)
+// defends:
+//
+//   - Sharing invariance under asynchronous arrival: every served query's
+//     output is byte-identical to its solo Session.Run, with solo-equal
+//     GroupsPruned/BloomPruned/RecordsPruned/RecordsFiltered, across random
+//     schemas, predicates, tenants, arrival orders, window sizes, and
+//     quotas — the RunBatch invariant, now under admission-time batching.
+//   - Attribution exactness: per-tenant charged bytes, cache hits, and
+//     sharing savings sum exactly to the server's totals (shared physical
+//     work split evenly across a batch's members, remainder to the
+//     earliest-admitted).
+//   - Window=0 is the no-batching identity: every query seals alone and
+//     the served byte accounting equals sequential solo runs.
+//
+// Modeled time: waits, queueing, and batch run times live on one timeline
+// in modeled seconds (sim.CostModel pricing), replayed against MaxBatches
+// modeled servers in seal order; Stats reports p50/p95/p99 wait/run/latency
+// overall and per tenant.
+package serve

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"colmr/internal/core"
+	"colmr/internal/mapred"
+	"colmr/internal/scan"
+	"colmr/internal/serde"
+)
+
+// The HTTP face of the server: a thin API controller feeding the admission
+// queue, the worker-pool-over-channels idiom of crawler frontends. Handlers
+// never run scans themselves — they build a typed job, Enqueue it, and wait
+// on the ticket, so HTTP queries batch with in-process ones.
+
+// HandlerOptions configures the HTTP handler.
+type HandlerOptions struct {
+	// Datasets maps query-able dataset names to CIF dataset directories.
+	// Requests name datasets by key; paths never cross the API.
+	Datasets map[string]string
+	// Default is the dataset name used when a request omits one.
+	Default string
+	// MaxLimit caps the rows a single query may return (default 100).
+	MaxLimit int
+}
+
+// QueryRequest is the POST /query body. Where uses the scan expression
+// language — the same serialization `colscan -where` speaks — e.g.
+// `int0 <= 100 && prefix(str0, "ab")`.
+type QueryRequest struct {
+	Tenant  string   `json:"tenant,omitempty"`
+	Dataset string   `json:"dataset,omitempty"`
+	Columns []string `json:"columns,omitempty"`
+	Where   string   `json:"where,omitempty"`
+	Lazy    bool     `json:"lazy,omitempty"`
+	// Limit asks for up to this many matching rows in the response;
+	// 0 returns counts and statistics only.
+	Limit int `json:"limit,omitempty"`
+}
+
+// QueryStats carries the query's solo-exact logical pruning counters.
+type QueryStats struct {
+	SplitsPruned    int64 `json:"splitsPruned"`
+	GroupsPruned    int64 `json:"groupsPruned"`
+	BloomPruned     int64 `json:"bloomPruned"`
+	RecordsPruned   int64 `json:"recordsPruned"`
+	RecordsFiltered int64 `json:"recordsFiltered"`
+}
+
+// QueryResponse is the POST /query reply.
+type QueryResponse struct {
+	Tenant  string `json:"tenant"`
+	Dataset string `json:"dataset"`
+	Where   string `json:"where,omitempty"`
+	Matched int64  `json:"matched"`
+	// Rows holds up to Limit matching rows, rendered column->value. Which
+	// rows is unspecified (map tasks race to fill the budget); the slice
+	// is sorted for stable presentation.
+	Rows  []map[string]string `json:"rows,omitempty"`
+	Stats QueryStats          `json:"stats"`
+	// Serve is the serving-side account: batch membership, window wait,
+	// modeled run time, attributed charged bytes and sharing savings.
+	Serve Report `json:"serve"`
+}
+
+type httpHandler struct {
+	srv  *Server
+	opts HandlerOptions
+}
+
+// NewHandler returns the HTTP/JSON face of a server:
+//
+//	POST /query   run a scan (QueryRequest -> QueryResponse)
+//	GET  /stats   live Stats snapshot
+//	GET  /healthz liveness + draining state
+func NewHandler(s *Server, opts HandlerOptions) http.Handler {
+	if opts.MaxLimit <= 0 {
+		opts.MaxLimit = 100
+	}
+	h := &httpHandler{srv: s, opts: opts}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", h.query)
+	mux.HandleFunc("/stats", h.stats)
+	mux.HandleFunc("/healthz", h.healthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// rowCollector gathers up to limit rendered rows across the query's
+// (concurrent) map tasks.
+type rowCollector struct {
+	mu    sync.Mutex
+	limit int
+	rows  []map[string]string
+}
+
+func (c *rowCollector) add(rec serde.Record, cols []string) error {
+	if c.limit <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.rows) >= c.limit {
+		return nil
+	}
+	if len(cols) == 0 {
+		cols = rec.Schema().FieldNames()
+	}
+	row := make(map[string]string, len(cols))
+	for _, col := range cols {
+		v, err := rec.Get(col)
+		if err != nil {
+			return err
+		}
+		row[col] = fmt.Sprintf("%v", v)
+	}
+	c.rows = append(c.rows, row)
+	return nil
+}
+
+// sorted returns the rows in a stable order (by their rendered form).
+func (c *rowCollector) sorted() []map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, len(c.rows))
+	idx := make([]int, len(c.rows))
+	for i, row := range c.rows {
+		cols := make([]string, 0, len(row))
+		for col := range row {
+			cols = append(cols, col)
+		}
+		sort.Strings(cols)
+		var sb strings.Builder
+		for _, col := range cols {
+			sb.WriteString(col)
+			sb.WriteByte('=')
+			sb.WriteString(row[col])
+			sb.WriteByte(';')
+		}
+		keys[i] = sb.String()
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	out := make([]map[string]string, len(idx))
+	for i, j := range idx {
+		out[i] = c.rows[j]
+	}
+	return out
+}
+
+func (h *httpHandler) query(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	name := req.Dataset
+	if name == "" {
+		name = h.opts.Default
+	}
+	path, ok := h.opts.Datasets[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", name)
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	limit := req.Limit
+	if limit > h.opts.MaxLimit {
+		limit = h.opts.MaxLimit
+	}
+
+	b := core.ScanDataset(path).Columns(req.Columns...).Lazy(req.Lazy)
+	if req.Where != "" {
+		pred, err := scan.Parse(req.Where)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad where clause: %v", err)
+			return
+		}
+		b = b.Where(pred)
+	}
+	collector := &rowCollector{limit: limit}
+	job := b.Job(mapred.MapperFunc(func(_, v any, _ mapred.Emit) error {
+		rec, ok := v.(serde.Record)
+		if !ok {
+			return fmt.Errorf("serve: map input is %T, not a record", v)
+		}
+		return collector.add(rec, req.Columns)
+	}))
+
+	ticket, err := h.srv.Enqueue(tenant, job)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrDraining) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	res, err := ticket.Wait()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Tenant:  tenant,
+		Dataset: name,
+		Where:   req.Where,
+		Matched: res.Total.RecordsProcessed,
+		Rows:    collector.sorted(),
+		Stats: QueryStats{
+			SplitsPruned:    res.Total.SplitsPruned,
+			GroupsPruned:    res.Total.GroupsPruned,
+			BloomPruned:     res.Total.BloomPruned,
+			RecordsPruned:   res.Total.RecordsPruned,
+			RecordsFiltered: res.Total.RecordsFiltered,
+		},
+		Serve: ticket.Report(),
+	})
+}
+
+func (h *httpHandler) stats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, h.srv.Stats())
+}
+
+func (h *httpHandler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": h.srv.Draining()})
+}

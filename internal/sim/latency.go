@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Latency accumulates modeled-time samples (seconds) and reports order
+// statistics. It is the serving-side analogue of TaskStats: where TaskStats
+// counts work, Latency distributes *when* that work completed in modeled
+// time — the admission-window and queueing delays the scan server's sweep
+// reports as p50/p99.
+//
+// Samples are kept exactly (serving experiments observe thousands of
+// queries, not millions), so quantiles are true order statistics rather
+// than sketch estimates and a sweep's recorded numbers reproduce bit-for-bit
+// from the same arrival sequence.
+type Latency struct {
+	samples []float64
+	sorted  bool
+}
+
+// Observe records one sample, in seconds of modeled time.
+func (l *Latency) Observe(s float64) {
+	l.samples = append(l.samples, s)
+	l.sorted = false
+}
+
+// Count returns the number of samples observed.
+func (l *Latency) Count() int { return len(l.samples) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) by the nearest-rank rule,
+// or 0 with no samples.
+func (l *Latency) Quantile(q float64) float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Float64s(l.samples)
+		l.sorted = true
+	}
+	rank := int(math.Ceil(q*float64(len(l.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(l.samples) {
+		rank = len(l.samples) - 1
+	}
+	return l.samples[rank]
+}
+
+// Merge folds o's samples into l.
+func (l *Latency) Merge(o *Latency) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	l.samples = append(l.samples, o.samples...)
+	l.sorted = false
+}
+
+// Summary snapshots the distribution into plain numbers.
+func (l *Latency) Summary() LatencySummary {
+	s := LatencySummary{Count: len(l.samples)}
+	if s.Count == 0 {
+		return s
+	}
+	var sum float64
+	for _, v := range l.samples {
+		sum += v
+	}
+	s.Mean = sum / float64(s.Count)
+	s.P50 = l.Quantile(0.50)
+	s.P95 = l.Quantile(0.95)
+	s.P99 = l.Quantile(0.99)
+	s.Max = l.samples[len(l.samples)-1] // Quantile just sorted them
+	return s
+}
+
+// LatencySummary is a value snapshot of a Latency distribution, in seconds
+// of modeled time. It marshals cleanly (the scan server's /stats endpoint
+// serves it as JSON).
+type LatencySummary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}

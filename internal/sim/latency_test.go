@@ -1,0 +1,45 @@
+package sim
+
+import "testing"
+
+func TestLatencyQuantiles(t *testing.T) {
+	var l Latency
+	for i := 100; i >= 1; i-- { // reverse insertion order must not matter
+		l.Observe(float64(i))
+	}
+	if l.Count() != 100 {
+		t.Fatalf("count %d, want 100", l.Count())
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.5, 50}, {0.95, 95}, {0.99, 99}, {1, 100},
+	}
+	for _, c := range cases {
+		if got := l.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g (nearest rank)", c.q, got, c.want)
+		}
+	}
+	s := l.Summary()
+	if s.Count != 100 || s.Mean != 50.5 || s.P50 != 50 || s.P99 != 99 || s.Max != 100 {
+		t.Errorf("summary %+v", s)
+	}
+}
+
+func TestLatencyEmptyAndMerge(t *testing.T) {
+	var l Latency
+	if s := l.Summary(); s != (LatencySummary{}) {
+		t.Errorf("empty summary %+v, want zero", s)
+	}
+	if got := l.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile %g, want 0", got)
+	}
+
+	var a, b Latency
+	a.Observe(1)
+	a.Observe(3)
+	b.Observe(2)
+	a.Merge(&b)
+	a.Merge(nil)
+	if a.Count() != 3 || a.Quantile(0.5) != 2 {
+		t.Errorf("merged count %d median %g, want 3 and 2", a.Count(), a.Quantile(0.5))
+	}
+}
