@@ -97,6 +97,36 @@ func BenchmarkFigure11(b *testing.B) {
 	}
 }
 
+// BenchmarkVectorized regenerates the vectorized-execution sweep (batch
+// evaluation + vector cache vs the record-at-a-time loop).
+func BenchmarkVectorized(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Vectorized(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestVectorizedCPUGuard is the repo-level perf regression gate on the
+// batch execution path: on every layout and selectivity arm, the vectorized
+// run's modeled decode CPU must not exceed the scalar run's (the two read
+// identical bytes, so a regression here is pure execution-loop cost). The
+// stronger >= 2x floor on the selective string-equality arm lives in the
+// bench package's shape test; this guard runs in -short too, so any tier-1
+// run catches a vectorized slowdown.
+func TestVectorizedCPUGuard(t *testing.T) {
+	res, err := bench.Vectorized(benchCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if c.VectorCPU > c.ScalarCPU {
+			t.Errorf("%s/%s: vectorized CPU %.5fs exceeds scalar %.5fs",
+				c.Layout, c.Arm, c.VectorCPU, c.ScalarCPU)
+		}
+	}
+}
+
 // Component microbenchmarks: the hot paths the experiments exercise.
 
 func BenchmarkSerdeEncodeRecord(b *testing.B) {

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -56,6 +57,14 @@ var experiments = []struct {
 		func(c bench.Config) error { _, err := bench.SharedScan(c); return err }},
 	{"cachereuse", "cache reuse sweep: one session resubmitting a job vs cold runs",
 		func(c bench.Config) error { _, err := bench.CacheReuse(c); return err }},
+	{"vectorized", "vectorized execution sweep: batch eval + vector cache vs scalar (writes BENCH_vectorized.json)",
+		func(c bench.Config) error {
+			res, err := bench.Vectorized(c)
+			if err != nil {
+				return err
+			}
+			return writeJSON("BENCH_vectorized.json", res)
+		}},
 	{"serve", "scan server sweep: sharing window vs continuous arrivals (rate x overlap x window)",
 		func(c bench.Config) error { _, err := bench.Serve(c); return err }},
 	{"skiplevels", "ablation: skip-list level configuration",
@@ -66,6 +75,17 @@ var experiments = []struct {
 		func(c bench.Config) error { _, err := bench.AblationBlockSize(c); return err }},
 	{"recovery", "ablation: datanode failure and re-replication (§4.3 future work)",
 		func(c bench.Config) error { _, err := bench.AblationRecovery(c); return err }},
+}
+
+// writeJSON records an experiment's result struct as a machine-readable
+// artifact in the working directory, the perf-trajectory baseline later
+// changes are compared against.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // experimentNames renders the -experiment flag's value set from the

@@ -70,6 +70,7 @@ func main() {
 		columns = flag.String("columns", "", "comma-separated projection (empty = all columns)")
 		lazy    = flag.Bool("lazy", false, "use lazy record construction for CIF")
 		elide   = flag.Bool("elide", true, "let CIF drop split-directories from footer statistics before scheduling")
+		vect    = flag.Bool("vectorize", true, "evaluate CIF predicates batch-at-a-time over decoded column vectors")
 		cache   = flag.Int64("cache", 0, "session scan-cache budget in bytes; runs the -where clauses as rounds of one cache-backed session")
 		seed    = flag.Int64("seed", 2011, "generator seed")
 	)
@@ -229,6 +230,7 @@ func main() {
 		scan.SetPredicate(cconf, pred)
 	}
 	scan.SetElision(cconf, *elide)
+	scan.SetVectorize(cconf, *vect)
 	runScan("CIF", &core.InputFormat{}, cconf, true)
 
 	// The per-format table compares one predicate; additional clauses run
@@ -239,9 +241,9 @@ func main() {
 	}
 	fmt.Printf("scan of %d %s records, projection=%v, where=%q, lazy=%v\n\n", *records, *kind, proj, whereLabel, *lazy)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "format\tmatched\tlogical MB\tcharged MB\tseeks\tmap KB\tvalues\tpruned\tmodeled scan")
+	fmt.Fprintln(tw, "format\tmatched\tlogical MB\tcharged MB\tseeks\tmap KB\tvalues\tvec rows\tpruned\tmodeled scan")
 	for _, r := range results {
-		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%d\t%.1f\t%d\t%d\t%.3fs\n",
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%d\t%.1f\t%d\t%d\t%d\t%.3fs\n",
 			r.name,
 			r.matched,
 			float64(r.st.IO.LogicalBytes)/(1<<20),
@@ -249,6 +251,7 @@ func main() {
 			r.st.IO.Seeks,
 			float64(r.st.CPU.MapBytes)/(1<<10),
 			r.st.CPU.ValuesMaterialized,
+			r.st.RowsVectorized,
 			r.st.RecordsPruned,
 			model.ScanSeconds(r.st))
 	}
@@ -257,31 +260,32 @@ func main() {
 	// With several -where clauses, run them as one shared CIF batch and
 	// compare against each clause scanning solo.
 	if len(preds) > 1 {
-		batchScan(fs, model, "/s/cif", proj, preds, *lazy, *elide)
+		batchScan(fs, model, "/s/cif", proj, preds, *lazy, *elide, *vect)
 	}
 
 	// With a cache budget, run the clauses again as successive rounds of
 	// one long-lived session — cross-batch reuse instead of co-submission.
 	if *cache > 0 && len(preds) > 0 {
-		sessionScan(fs, model, "/s/cif", proj, preds, *lazy, *elide, *cache)
+		sessionScan(fs, model, "/s/cif", proj, preds, *lazy, *elide, *vect, *cache)
 	}
 }
 
 // cifJob builds one map-only CIF job over the dataset through the typed
 // builder.
-func cifJob(dataset string, proj []string, p scan.Predicate, lazy, elide bool) *mapred.Job {
+func cifJob(dataset string, proj []string, p scan.Predicate, lazy, elide, vect bool) *mapred.Job {
 	return core.ScanDataset(dataset).
 		Columns(proj...).
 		Where(p).
 		Lazy(lazy).
 		Elide(elide).
+		Vectorize(vect).
 		Job(mapred.MapperFunc(func(_, _ any, _ mapred.Emit) error { return nil }))
 }
 
 // batchScan runs one map-only CIF job per predicate, solo and co-scheduled,
 // printing per-job logical accounting and the batch's shared-read savings.
-func batchScan(fs *hdfs.FileSystem, model sim.CostModel, dataset string, proj []string, preds []scan.Predicate, lazy, elide bool) {
-	job := func(p scan.Predicate) *mapred.Job { return cifJob(dataset, proj, p, lazy, elide) }
+func batchScan(fs *hdfs.FileSystem, model sim.CostModel, dataset string, proj []string, preds []scan.Predicate, lazy, elide, vect bool) {
+	job := func(p scan.Predicate) *mapred.Job { return cifJob(dataset, proj, p, lazy, elide, vect) }
 
 	var soloCharged int64
 	var soloSeconds float64
@@ -333,17 +337,19 @@ func batchScan(fs *hdfs.FileSystem, model sim.CostModel, dataset string, proj []
 // sessionScan runs each predicate as one Submit/Wait round of a long-lived
 // session with the given cache budget — cross-batch reuse, no co-submission
 // — printing per-round cache statistics next to the cost of a cold run.
-func sessionScan(fs *hdfs.FileSystem, model sim.CostModel, dataset string, proj []string, preds []scan.Predicate, lazy, elide bool, cacheBytes int64) {
-	session := mapred.NewSession(fs, mapred.SessionOptions{CacheBytes: cacheBytes})
+func sessionScan(fs *hdfs.FileSystem, model sim.CostModel, dataset string, proj []string, preds []scan.Predicate, lazy, elide, vect bool, cacheBytes int64) {
+	// The vector cache rides the same budget: a round whose batches are all
+	// resident decodes (and reads) nothing at all.
+	session := mapred.NewSession(fs, mapred.SessionOptions{CacheBytes: cacheBytes, VecCacheBytes: cacheBytes})
 
 	fmt.Printf("\ncached CIF session: %d rounds, %d MB cache budget\n\n", len(preds), cacheBytes>>20)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "round\twhere\tmatched\tcold charged MB\twarm charged MB\tcache hits\tfrom cache MB\tmodeled")
+	fmt.Fprintln(tw, "round\twhere\tmatched\tcold charged MB\twarm charged MB\tcache hits\tfrom cache MB\tvec hits\tdecode saved\tmodeled")
 	var coldTotal, warmTotal int64
 	for i, p := range preds {
-		cold, err := mapred.Run(fs, cifJob(dataset, proj, p, lazy, elide))
+		cold, err := mapred.Run(fs, cifJob(dataset, proj, p, lazy, elide, vect))
 		check(err)
-		pend := session.Submit(cifJob(dataset, proj, p, lazy, elide))
+		pend := session.Submit(cifJob(dataset, proj, p, lazy, elide, vect))
 		br, err := session.Wait()
 		check(err)
 		warm, err := pend.Result()
@@ -354,13 +360,15 @@ func sessionScan(fs *hdfs.FileSystem, model sim.CostModel, dataset string, proj 
 			os.Exit(1)
 		}
 		hits, fromCache := mapred.CacheStats(br)
+		_, vecHits, decodeSaved := mapred.VecStats(br)
 		coldTotal += cold.Total.IO.TotalChargedBytes()
 		warmTotal += warm.Total.IO.TotalChargedBytes()
-		fmt.Fprintf(tw, "%d\t%s\t%d\t%.2f\t%.2f\t%d\t%.2f\t%.3fs\n",
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%.2f\t%.2f\t%d\t%.2f\t%d\t%d\t%.3fs\n",
 			i, p, warm.Total.RecordsProcessed,
 			float64(cold.Total.IO.TotalChargedBytes())/(1<<20),
 			float64(warm.Total.IO.TotalChargedBytes())/(1<<20),
 			hits, float64(fromCache)/(1<<20),
+			vecHits, decodeSaved,
 			model.ScanSeconds(warm.Total))
 	}
 	tw.Flush()
@@ -371,9 +379,11 @@ func sessionScan(fs *hdfs.FileSystem, model sim.CostModel, dataset string, proj 
 	} else if coldTotal > 0 {
 		reduction = "every warm byte served from cache"
 	}
-	fmt.Printf("\nsession: cold %.2f MB vs warm %.2f MB (%s); cache resident %.2f MB in %d regions\n",
+	vecResident, vectors := session.VecCacheUsage()
+	fmt.Printf("\nsession: cold %.2f MB vs warm %.2f MB (%s); cache resident %.2f MB in %d regions; vectors resident %.2f MB in %d vectors\n",
 		float64(coldTotal)/(1<<20), float64(warmTotal)/(1<<20), reduction,
-		float64(resident)/(1<<20), regions)
+		float64(resident)/(1<<20), regions,
+		float64(vecResident)/(1<<20), vectors)
 }
 
 func check(err error) {

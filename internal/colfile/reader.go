@@ -80,6 +80,7 @@ func NewReaderOpts(r ReaderAtSize, schema *serde.Schema, opts ReaderOptions, sta
 			dcsl:        h.layout == DCSL,
 			noBloom:     opts.NoBloom,
 			total:       total,
+			probeWin:    -1,
 		}, nil
 	}
 	return nil, fmt.Errorf("colfile: unknown layout %v", h.layout)
@@ -272,6 +273,17 @@ type slReader struct {
 
 	aligned bool
 	dict    *compress.Dictionary
+
+	// KeyProber memoization: repeated probes for the same key reuse the
+	// group's Bloom verdict and the window's dictionary answer instead of
+	// re-probing per record. Cursor movement never invalidates the memos —
+	// they are keyed by position range — and a different key resets them.
+	probeKey      string
+	probeGroupEnd int64 // bloom verdict valid for rec < probeGroupEnd
+	probeBloomNeg bool
+	probeWin      int64 // window start the dict answer covers; -1 = none
+	probeID       uint32
+	probeInWin    bool
 }
 
 func (r *slReader) Record() int64 { return r.rec }
@@ -444,8 +456,21 @@ func (r *slReader) HasKey(key string) (bool, bool, error) {
 	if !r.dcsl || r.rec >= r.total {
 		return false, false, nil
 	}
+	if key != r.probeKey {
+		r.probeKey = key
+		r.probeGroupEnd = 0
+		r.probeWin = -1
+	}
 	if !r.noBloom {
-		if st, _ := r.GroupStats(r.rec); st != nil && st.Bloom != nil && !st.Bloom.MayContainString(key) {
+		if r.rec >= r.probeGroupEnd {
+			st, gEnd := r.GroupStats(r.rec)
+			r.probeBloomNeg = st != nil && st.Bloom != nil && !st.Bloom.MayContainString(key)
+			if gEnd <= r.rec {
+				gEnd = r.rec + 1
+			}
+			r.probeGroupEnd = gEnd
+		}
+		if r.probeBloomNeg {
 			return false, true, nil
 		}
 	}
@@ -455,7 +480,11 @@ func (r *slReader) HasKey(key string) (bool, bool, error) {
 	if r.dict == nil {
 		return false, false, nil
 	}
-	id, inWindow := r.dict.ID(key)
+	if win := r.rec - r.rec%r.maxLevel(); win != r.probeWin {
+		r.probeID, r.probeInWin = r.dict.ID(key)
+		r.probeWin = win
+	}
+	id, inWindow := r.probeID, r.probeInWin
 	if !inWindow {
 		return false, true, nil
 	}

@@ -11,6 +11,7 @@ import (
 	"colmr/internal/scan"
 	"colmr/internal/serde"
 	"colmr/internal/sim"
+	"colmr/internal/vec"
 )
 
 // SetColumns pushes a column projection into CIF for a job, the analogue of
@@ -65,6 +66,9 @@ func resolveSpec(conf *mapred.JobConf) (scan.Spec, error) {
 	}
 	if !spec.NoBloom {
 		spec.NoBloom = !scan.BloomFromConf(conf)
+	}
+	if !spec.NoVec {
+		spec.NoVec = !scan.VectorizeFromConf(conf)
 	}
 	return spec, nil
 }
@@ -251,7 +255,10 @@ func (f *InputFormat) planDirs(fs *hdfs.FileSystem, conf *mapred.JobConf, allowE
 	plan.columns = columns
 	plan.bloom = spec.Bloom()
 	plan.dps = f.dirsPerSplit(spec)
-	plan.report = scan.PruneReport{Columns: planner.FilterColumns()}
+	plan.report = scan.PruneReport{
+		Columns:    planner.FilterColumns(),
+		Vectorized: pred != nil && spec.Vectorize(),
+	}
 	plan.elide = allowElide && pred != nil && spec.Elide()
 	for _, dataset := range conf.InputPaths {
 		dirs, err := listSplitDirs(fs, dataset)
@@ -461,7 +468,8 @@ func (f *InputFormat) Open(fs *hdfs.FileSystem, conf *mapred.JobConf, split mapr
 	// The reader's file tier runs only for splits the scheduler has not
 	// already judged (and not at all when elision is disabled).
 	fileTier := spec.Elide() && !csplit.Judged
-	return newReader(fs, csplit.Dirs, columns, spec.Lazy, spec.Predicate, fileTier, spec.Bloom(), conf.Cache, node, stats)
+	return newReader(fs, csplit.Dirs, columns, spec.Lazy, spec.Predicate, fileTier, spec.Bloom(),
+		spec.Vectorize(), conf.Cache, conf.VecCache, node, stats)
 }
 
 // Reader iterates the records of a CIF split. It is also usable directly
@@ -488,6 +496,22 @@ type Reader struct {
 	// cache is the session's cross-batch scan cache (nil outside a caching
 	// Session); attached to every column-file stream this reader opens.
 	cache *hdfs.ScanCache
+	// vectorize selects batch-at-a-time predicate evaluation (vecexec.go):
+	// set when a predicate is present and the spec enables it. vecOK
+	// narrows it per open directory to cursor sets whose filter columns can
+	// all batch-decode; anything else runs the scalar loop below.
+	vectorize bool
+	vecOK     bool
+	// vecCache is the session's decoded-vector cache (nil disables);
+	// vecPool recycles batch scratch vectors.
+	vecCache *vec.Cache
+	vecPool  vec.Pool
+	// probeOnly marks filter columns safe for batch key probing: read
+	// through exactly one exists() test and not projected, so consuming
+	// their stream without producing values is safe.
+	probeOnly map[string]bool
+	// batch is the active evaluated batch (nil between batches).
+	batch *colBatch
 
 	schema  *serde.Schema // full dataset schema
 	proj    *serde.Schema // projected record schema
@@ -525,9 +549,13 @@ type cursor struct {
 	r         colfile.Reader
 	cached    any
 	cachedPos int64
+	// phys is the cursor's physical accounting bucket, used while
+	// vectorizing so parallel per-column decodes never share a counter;
+	// Reader.foldCursorStats folds it behind the fan-out barriers.
+	phys sim.TaskStats
 }
 
-func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, pred scan.Predicate, elide, bloom bool, cache *hdfs.ScanCache, node hdfs.NodeID, stats *sim.TaskStats) (*Reader, error) {
+func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, pred scan.Predicate, elide, bloom, vectorize bool, cache *hdfs.ScanCache, vcache *vec.Cache, node hdfs.NodeID, stats *sim.TaskStats) (*Reader, error) {
 	schema, err := readSplitSchema(fs, dirs[0])
 	if err != nil {
 		return nil, err
@@ -562,6 +590,8 @@ func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, 
 		noBloom:        !bloom,
 		planner:        scan.NewPlanner(pred),
 		cache:          cache,
+		vectorize:      vectorize && pred != nil,
+		vecCache:       vcache,
 		schema:         schema,
 		proj:           proj,
 		columns:        columns,
@@ -572,6 +602,15 @@ func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, 
 		lastCountedDir: -1,
 	}
 	r.planner.SetBloom(bloom)
+	if r.vectorize {
+		r.probeOnly = make(map[string]bool)
+		for _, col := range scan.ProbeOnlyColumns(pred) {
+			r.probeOnly[col] = true
+		}
+		for _, col := range columns {
+			delete(r.probeOnly, col)
+		}
+	}
 	r.lrec = &LazyRecord{reader: r}
 	r.eval = evalCtx{r}
 	if err := r.nextDir(); err != nil {
@@ -587,11 +626,14 @@ func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, 
 // (uncharged metadata) are touched.
 func (r *Reader) nextDir() error {
 	for {
+		r.releaseBatch()
+		r.foldCursorStats()
 		for _, c := range r.cursors {
 			c.hr.Close()
 		}
 		r.cursors = nil
 		r.byName = nil
+		r.vecOK = false
 		r.dirIdx++
 		if r.dirIdx >= len(r.dirs) {
 			r.done = true
@@ -617,6 +659,7 @@ func (r *Reader) nextDir() error {
 		}
 		r.curPos = -1
 		r.pruneValidTo = 0
+		r.vecOK = r.vecEligible()
 		return nil
 	}
 }
@@ -656,11 +699,22 @@ func (r *Reader) openDir(dir string) (pruned bool, err error) {
 	}
 	for i, col := range r.allCols {
 		hr := files[i]
-		if r.stats != nil {
-			hr.SetStats(&r.stats.IO)
-		}
-		if r.cache != nil {
-			hr.SetCache(r.cache, r.stats)
+		c := &cursor{name: col, schema: r.schema.Field(col), hr: hr, cachedPos: -1}
+		if r.vectorize && r.stats != nil {
+			// Per-cursor physical buckets: batch decodes fan per-column
+			// work across goroutines, so each stream charges its own
+			// counters (foldCursorStats folds them behind the barriers).
+			hr.SetStats(&c.phys.IO)
+			if r.cache != nil {
+				hr.SetCache(r.cache, &c.phys)
+			}
+		} else {
+			if r.stats != nil {
+				hr.SetStats(&r.stats.IO)
+			}
+			if r.cache != nil {
+				hr.SetCache(r.cache, r.stats)
+			}
 		}
 		opts := ropts
 		if collide > 0 {
@@ -673,7 +727,8 @@ func (r *Reader) openDir(dir string) (pruned bool, err error) {
 			closeAll()
 			return false, fmt.Errorf("core: column %q: %w", col, err)
 		}
-		r.cursors = append(r.cursors, &cursor{name: col, schema: r.schema.Field(col), hr: hr, r: cr, cachedPos: -1})
+		c.r = cr
+		r.cursors = append(r.cursors, c)
 	}
 	r.byName = make(map[string]*cursor, len(r.cursors))
 	for _, c := range r.cursors {
@@ -729,15 +784,36 @@ func (r *Reader) pruneDirFiles(files []*hdfs.FileReader) bool {
 // Next implements mapred.RecordReader. In lazy mode the returned Record is
 // reused across calls (like Hadoop Writables): use it before the next call.
 // With a predicate set, non-qualifying records are crossed inside this
-// loop: whole groups by zone-map pruning, single records after evaluating
-// only the filter columns.
+// loop: whole groups by zone-map pruning, then — vectorized — whole batches
+// evaluated at once with only the selected rows surfacing here, or —
+// scalar — single records after evaluating only the filter columns.
 func (r *Reader) Next() (any, any, bool, error) {
 	for {
 		if r.done {
 			return nil, nil, false, nil
 		}
+		if b := r.batch; b != nil {
+			// Drain the evaluated batch: each selected row surfaces as one
+			// record; exhaustion advances past the batch and re-enters the
+			// planning loop below.
+			idx := b.sel.Next(b.next)
+			if idx < 0 {
+				r.curPos = b.end - 1
+				r.releaseBatch()
+				continue
+			}
+			b.next = idx + 1
+			r.curPos = b.start + int64(idx)
+			break
+		}
 		if r.curPos+1 >= r.total {
 			if err := r.nextDir(); err != nil {
+				return nil, nil, false, err
+			}
+			continue
+		}
+		if r.vecOK {
+			if err := r.vecAdvance(); err != nil {
 				return nil, nil, false, err
 			}
 			continue
@@ -775,6 +851,8 @@ func (r *Reader) Next() (any, any, bool, error) {
 
 // Close implements mapred.RecordReader.
 func (r *Reader) Close() error {
+	r.releaseBatch()
+	r.foldCursorStats()
 	for _, c := range r.cursors {
 		c.hr.Close()
 	}

@@ -30,6 +30,17 @@
 // replays the same consultation sequence per member job of a co-scheduled
 // batch so every member's logical accounting matches its solo run.
 //
+// The value tier executes batch-at-a-time by default (vecexec.go): a
+// may-match extent is decoded per filter column into scan.Vectors (fanned
+// across a bounded goroutine pool, or served whole from a session's
+// vec.Cache), the predicate runs once per batch via VecEval, and only
+// selected rows are materialized into the usual Next record shape. Batch
+// boundaries never cross a zone-map consultation boundary, so the pruning
+// trajectory and logical counters are bit-for-bit the scalar loop's; any
+// shape the batch path cannot take (no predicate, Spec.NoVec, a layout
+// without VectorDecoder, a shared set with a scalar member) falls back to
+// the record-at-a-time loop per directory. See docs/VECTORIZED.md.
+//
 // Invariants the property tests defend (with internal/scan's and
 // internal/mapred's property suites, which drive this package):
 //

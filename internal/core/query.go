@@ -61,6 +61,16 @@ func (b *ScanBuilder) Bloom(on bool) *ScanBuilder {
 	return b
 }
 
+// Vectorize enables or disables batch predicate execution (default on).
+// With a predicate set, record groups are decoded per column into typed
+// vectors and evaluated batch-at-a-time over selection bitmaps; results,
+// record order, and pruning counters are identical either way, only the
+// decode cost model changes. Off restores the record-at-a-time loop.
+func (b *ScanBuilder) Vectorize(on bool) *ScanBuilder {
+	b.spec.NoVec = !on
+	return b
+}
+
 // DirsPerSplit assigns this many split-directories to one map task
 // (AutoDirsPerSplit sizes tasks from estimated selectivity).
 func (b *ScanBuilder) DirsPerSplit(n int) *ScanBuilder {

@@ -130,6 +130,21 @@ func (r *Reader) valueAt(c *cursor) (any, error) {
 	if c.cachedPos == r.curPos {
 		return c.cached, nil
 	}
+	// A column already decoded for the active batch serves from its vector:
+	// the cursor was advanced to the batch end by the decode, so the vector
+	// is also the only correct source for rows inside the batch.
+	if b := r.batch; b != nil && b.contains(r.curPos) {
+		if v := b.vecAt(c.name); v != nil {
+			val := v.Value(int(r.curPos - b.start))
+			if r.stats != nil && v.Kind != scan.VecAny {
+				// Boxing on serve; VecAny rows were charged at decode.
+				r.stats.CPU.ValuesMaterialized++
+			}
+			c.cached = val
+			c.cachedPos = r.curPos
+			return val, nil
+		}
+	}
 	// lastPos -> curPos: cross the records nothing asked for. Skip-list
 	// layouts charge cheap skips; plain layouts degrade to walking.
 	if err := c.r.SkipTo(r.curPos); err != nil {

@@ -9,6 +9,7 @@ import (
 	"colmr/internal/scan"
 	"colmr/internal/serde"
 	"colmr/internal/sim"
+	"colmr/internal/vec"
 )
 
 // Shared scans (the batch engine's storage side). A SharedReader drives one
@@ -178,6 +179,7 @@ func (f *InputFormat) OpenShared(fs *hdfs.FileSystem, confs []*mapred.JobConf, s
 	}
 	preds := make([]scan.Predicate, len(members))
 	anyNoBloom := false
+	allVec := true
 	for k, mi := range members {
 		conf := confs[mi]
 		spec, err := resolveSpec(conf)
@@ -187,10 +189,19 @@ func (f *InputFormat) OpenShared(fs *hdfs.FileSystem, confs []*mapred.JobConf, s
 		if spec.NoBloom {
 			anyNoBloom = true
 		}
+		if spec.NoVec {
+			// One scalar member makes the whole cursor set scalar: the
+			// switch is an A/B lever, and mixing modes inside one batch
+			// would blur what it measures.
+			allVec = false
+		}
 		if sr.cache == nil {
 			// All members of a session batch carry the same cache; take the
 			// first one present so hand-mixed batches still behave.
 			sr.cache = conf.Cache
+		}
+		if sr.vecCache == nil {
+			sr.vecCache = conf.VecCache
 		}
 		cols := spec.Columns
 		proj := schema
@@ -243,6 +254,30 @@ func (f *InputFormat) OpenShared(fs *hdfs.FileSystem, confs []*mapred.JobConf, s
 	sr.evalOK = make([]bool, union.NumGroups)
 	for k, m := range sr.members {
 		m.evalGroup = union.EvalGroups[k]
+	}
+	// Vectorized demux state: one residual predicate per evaluation group
+	// (identical residuals share one batch verdict, like the scalar
+	// evalPos/evalOK dedup). Vectorization needs every member filtered —
+	// union.Shared nil means some member takes every record, and the batch
+	// path has nothing to evaluate.
+	sr.vectorize = allVec && union.Shared != nil
+	sr.groupPred = make([]scan.Predicate, union.NumGroups)
+	for k, m := range sr.members {
+		if g := m.evalGroup; g >= 0 && sr.groupPred[g] == nil {
+			sr.groupPred[g] = preds[k]
+		}
+	}
+	sr.memberSel = make([]*scan.Selection, len(sr.members))
+	if sr.vectorize {
+		sr.probeOnly = make(map[string]bool)
+		for _, col := range scan.ProbeOnlyColumns(sr.groupPred...) {
+			sr.probeOnly[col] = true
+		}
+		for _, m := range sr.members {
+			for _, col := range m.columns {
+				delete(sr.probeOnly, col)
+			}
+		}
 	}
 	// The cursor set covers the union of the members' needs: projected
 	// columns first (member order), then filter-only columns.
@@ -311,6 +346,18 @@ type SharedReader struct {
 	// (once per record, however many members consumed it).
 	matCounted int64
 
+	// Vectorized demux (vecexec.go): groupPred holds one residual per eval
+	// group; per batch, memberSel[i] is member i's match bitmap and batch
+	// the evaluated batch. vecOK narrows vectorize per directory.
+	vectorize bool
+	vecOK     bool
+	vecCache  *vec.Cache
+	vecPool   vec.Pool
+	probeOnly map[string]bool
+	groupPred []scan.Predicate
+	memberSel []*scan.Selection
+	batch     *colBatch
+
 	outVals []any
 	outIdx  []int
 }
@@ -338,6 +385,8 @@ type sharedMember struct {
 // member set already encodes each job's scheduler-tier verdict for every
 // directory of the split.
 func (sr *SharedReader) nextDir() error {
+	sr.releaseBatch()
+	sr.vecOK = false
 	sr.closeCursors()
 	sr.dirIdx++
 	if sr.dirIdx >= len(sr.dirs) {
@@ -366,6 +415,7 @@ func (sr *SharedReader) nextDir() error {
 	for _, m := range sr.members {
 		m.acctPos, m.validTo = 0, 0
 	}
+	sr.vecOK = sr.vecEligible()
 	return nil
 }
 
@@ -449,9 +499,43 @@ func (sr *SharedReader) Next() (any, []any, []int, bool, error) {
 		if sr.done {
 			return nil, nil, nil, false, nil
 		}
+		// Pop the next match of the active batch; demux it by the members'
+		// match bitmaps computed at batch evaluation.
+		if b := sr.batch; b != nil {
+			idx := b.sel.Next(b.next)
+			if idx < 0 {
+				sr.curPos = b.end - 1
+				sr.releaseBatch()
+				continue
+			}
+			b.next = idx + 1
+			sr.curPos = b.start + int64(idx)
+			sr.outVals = sr.outVals[:0]
+			sr.outIdx = sr.outIdx[:0]
+			for mi, m := range sr.members {
+				if sr.memberSel[mi] == nil || !sr.memberSel[mi].Test(idx) {
+					continue
+				}
+				v, err := sr.deliver(m)
+				if err != nil {
+					return nil, nil, nil, false, err
+				}
+				sr.outVals = append(sr.outVals, v)
+				sr.outIdx = append(sr.outIdx, mi)
+			}
+			// The union selection is the OR of the member bitmaps, so at
+			// least one member took the record.
+			return nil, sr.outVals, sr.outIdx, true, nil
+		}
 		if sr.curPos+1 >= sr.total {
 			sr.finishDir()
 			if err := sr.nextDir(); err != nil {
+				return nil, nil, nil, false, err
+			}
+			continue
+		}
+		if sr.vecOK {
+			if err := sr.vecAdvance(); err != nil {
 				return nil, nil, nil, false, err
 			}
 			continue
@@ -632,6 +716,7 @@ func (sr *SharedReader) finishDir() {
 
 // Close implements mapred.SharedRecordReader.
 func (sr *SharedReader) Close() error {
+	sr.releaseBatch()
 	sr.closeCursors()
 	sr.done = true
 	return nil
@@ -656,6 +741,21 @@ func (sr *SharedReader) groupStats(col string, rec int64) (*scan.ColStats, int64
 func (sr *SharedReader) valueAt(c *cursor) (any, error) {
 	if c.cachedPos == sr.curPos {
 		return c.cached, nil
+	}
+	// A column decoded for the active batch serves from its vector: its
+	// cursor sits at the batch end, so the vector is also the only correct
+	// source for rows inside the batch (cf. Reader.valueAt).
+	if b := sr.batch; b != nil && b.contains(sr.curPos) {
+		if v := b.vecAt(c.name); v != nil {
+			val := v.Value(int(sr.curPos - b.start))
+			if v.Kind != scan.VecAny {
+				// Boxing on serve; VecAny rows were charged at decode.
+				sr.shared.CPU.ValuesMaterialized++
+			}
+			c.cached = val
+			c.cachedPos = sr.curPos
+			return val, nil
+		}
 	}
 	if err := c.r.SkipTo(sr.curPos); err != nil {
 		return nil, fmt.Errorf("core: column %q skip to %d: %w", c.name, sr.curPos, err)

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"colmr/internal/colfile"
+	"colmr/internal/scan"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+)
+
+// Vectorized-vs-scalar equivalence at the reader level: identical rows in
+// identical order, identical logical counters (the pruning trajectory is
+// shared), and the vectorized counters crediting the batch path only when it
+// ran.
+
+func vecLayouts() map[string]LoadOptions {
+	return map[string]LoadOptions{
+		"plain":    {SplitRecords: 64, Default: colfile.Options{Layout: colfile.Plain, StatsEvery: 16}},
+		"skiplist": {SplitRecords: 64, Default: colfile.Options{Layout: colfile.SkipList, Levels: []int{64, 8}, StatsEvery: 16}},
+		"block":    {SplitRecords: 64, Default: colfile.Options{Layout: colfile.Block, Codec: "zlib", BlockBytes: 4 << 10}},
+		"dcsl": {SplitRecords: 64, Default: colfile.Options{Layout: colfile.SkipList, Levels: []int{64, 8}, StatsEvery: 16},
+			PerColumn: map[string]colfile.Options{"metadata": {Layout: colfile.DCSL, StatsEvery: 16}}},
+	}
+}
+
+func TestVectorizedScanEquivalence(t *testing.T) {
+	preds := []scan.Predicate{
+		scan.HasPrefix("url", "http://ibm.com"),
+		scan.Gt("fetchTime", int64(1293840000000+150)),
+		scan.And(
+			scan.HasPrefix("url", "http://site"),
+			scan.Le("fetchTime", int64(1293840000000+100)),
+		),
+		scan.Or(
+			scan.HasPrefix("url", "http://ibm.com/jp"),
+			scan.KeyExists("metadata", "server"),
+		),
+		scan.KeyExists("metadata", "server"),
+		scan.Not(scan.HasPrefix("url", "http://site")),
+	}
+	for name, opts := range vecLayouts() {
+		fs := testFS(t, 4)
+		loadDataset(t, fs, "/data/crawl", opts, 300)
+		for _, pred := range preds {
+			for _, lazy := range []bool{false, true} {
+				run := func(vect bool) ([]map[string]any, sim.TaskStats) {
+					conf := predConf([]string{"url", "content"}, lazy, pred)
+					scan.SetVectorize(conf, vect)
+					return scanAll(t, fs, "/data/crawl", conf)
+				}
+				vrows, vst := run(true)
+				srows, sst := run(false)
+				ctx := name + " pred=" + pred.String()
+				if len(vrows) != len(srows) {
+					t.Fatalf("%s: vectorized %d rows, scalar %d", ctx, len(vrows), len(srows))
+				}
+				for i := range vrows {
+					for _, col := range []string{"url", "content"} {
+						if !serde.ValuesEqual(crawlSchema.Field(col), vrows[i][col], srows[i][col]) {
+							t.Fatalf("%s: row %d column %s differs: %v vs %v", ctx, i, col, vrows[i][col], srows[i][col])
+						}
+					}
+				}
+				if vst.GroupsPruned != sst.GroupsPruned || vst.RecordsPruned != sst.RecordsPruned ||
+					vst.BloomPruned != sst.BloomPruned || vst.RecordsFiltered != sst.RecordsFiltered {
+					t.Fatalf("%s: logical counters differ:\nvectorized pruned %d/%d bloom %d filtered %d\nscalar     pruned %d/%d bloom %d filtered %d",
+						ctx, vst.GroupsPruned, vst.RecordsPruned, vst.BloomPruned, vst.RecordsFiltered,
+						sst.GroupsPruned, sst.RecordsPruned, sst.BloomPruned, sst.RecordsFiltered)
+				}
+				if sst.RowsVectorized != 0 || sst.VecBatches != 0 {
+					t.Fatalf("%s: scalar run credited vectorized counters (%d rows, %d batches)",
+						ctx, sst.RowsVectorized, sst.VecBatches)
+				}
+				if reached := int64(300) - vst.RecordsPruned; reached > 0 && vst.RowsVectorized == 0 {
+					t.Fatalf("%s: %d records reached evaluation but none were vectorized", ctx, reached)
+				}
+				if vst.RowsVectorized != int64(len(vrows))+vst.RecordsFiltered {
+					t.Fatalf("%s: vectorized %d rows but returned %d + filtered %d",
+						ctx, vst.RowsVectorized, len(vrows), vst.RecordsFiltered)
+				}
+				if vst.RecordsPruned+vst.RecordsFiltered+int64(len(vrows)) != 300 {
+					t.Fatalf("%s: pruned %d + filtered %d + returned %d != 300",
+						ctx, vst.RecordsPruned, vst.RecordsFiltered, len(vrows))
+				}
+			}
+		}
+	}
+}
+
+// TestVectorizedProbeOnlyKeyTest pins the batch key-probe fast path: a DCSL
+// map column read only through one exists() test and not projected is
+// answered by ProbeKeys — no map values are decoded for the filter.
+func TestVectorizedProbeOnlyKeyTest(t *testing.T) {
+	fs := testFS(t, 4)
+	recs := loadDataset(t, fs, "/data/crawl", vecLayouts()["dcsl"], 300)
+	pred := scan.KeyExists("metadata", "server")
+	want := wantMatches(t, recs, pred)
+
+	conf := predConf([]string{"url"}, false, pred)
+	rows, st := scanAll(t, fs, "/data/crawl", conf)
+	if len(rows) != len(want) {
+		t.Fatalf("probe-only scan returned %d rows, brute force %d", len(rows), len(want))
+	}
+	if st.RowsVectorized == 0 {
+		t.Fatal("probe-only scan did not vectorize")
+	}
+	// The filter decodes no map values: the only materialized values are the
+	// projected url column's, one per match.
+	if st.CPU.ValuesMaterialized != int64(len(rows)) {
+		t.Fatalf("probe-only scan materialized %d values for %d matches", st.CPU.ValuesMaterialized, len(rows))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"colmr/internal/hdfs"
 	"colmr/internal/scan"
 	"colmr/internal/sim"
+	"colmr/internal/vec"
 )
 
 // Split is a non-overlapping partition of the input assigned to one map
@@ -152,6 +153,12 @@ type JobConf struct {
 	// column-file streams so regions hot from earlier batches charge no
 	// I/O.
 	Cache *hdfs.ScanCache
+	// VecCache is the Session's decoded-vector cache, attached alongside
+	// Cache; nil disables vector caching. Where Cache keeps charged byte
+	// regions resident (skipping the disk), VecCache keeps decoded column
+	// vectors resident (skipping the decode CPU too) — warm vectorized
+	// rounds serve batches straight from memory.
+	VecCache *vec.Cache
 }
 
 // Get returns a free-form property.

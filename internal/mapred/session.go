@@ -2,6 +2,7 @@ package mapred
 
 import (
 	"colmr/internal/hdfs"
+	"colmr/internal/vec"
 )
 
 // Cross-batch scan caching: the Engine promoted to a long-lived Session.
@@ -28,6 +29,12 @@ type SessionOptions struct {
 	// CacheBytes bounds the cross-batch scan cache. 0 disables caching,
 	// making the Session behave exactly like an Engine.
 	CacheBytes int64
+	// VecCacheBytes bounds the decoded-vector cache attached to the
+	// session's vectorized scans. 0 disables vector caching: batches are
+	// still evaluated vectorized, but every round re-decodes. Like the
+	// scan cache it is an accounting optimization only — outputs are
+	// identical with any budget.
+	VecCacheBytes int64
 }
 
 // Session is the long-lived query front end: an Engine plus a cross-batch
@@ -35,7 +42,8 @@ type SessionOptions struct {
 // reuse the regions earlier rounds charged.
 type Session struct {
 	Engine
-	cache *hdfs.ScanCache
+	cache  *hdfs.ScanCache
+	vcache *vec.Cache
 }
 
 // NewSession returns a session over the filesystem.
@@ -43,23 +51,30 @@ func NewSession(fs *hdfs.FileSystem, opts SessionOptions) *Session {
 	return &Session{
 		Engine: Engine{fs: fs},
 		cache:  hdfs.NewScanCache(opts.CacheBytes),
+		vcache: vec.New(opts.VecCacheBytes),
 	}
 }
 
-// Submit queues a job for the next Wait, attaching the session cache.
+// attach hands the session's runtime state to a job about to run.
+func (s *Session) attach(job *Job) {
+	job.Conf.Cache = s.cache
+	job.Conf.VecCache = s.vcache
+}
+
+// Submit queues a job for the next Wait, attaching the session caches.
 // Like Engine.Submit it is goroutine-safe: the cache attachment touches
 // only the submitted job's own conf, so concurrent submitters of distinct
 // jobs never share mutable state (one job must not be submitted twice
 // concurrently — it is owned by the engine once handed over).
 func (s *Session) Submit(job *Job) *PendingJob {
-	job.Conf.Cache = s.cache
+	s.attach(job)
 	return s.Engine.Submit(job)
 }
 
 // RunBatch executes the jobs as one cache-attached batch.
 func (s *Session) RunBatch(jobs ...*Job) (*BatchResult, error) {
 	for _, job := range jobs {
-		job.Conf.Cache = s.cache
+		s.attach(job)
 	}
 	return s.Engine.RunBatch(jobs...)
 }
@@ -67,14 +82,23 @@ func (s *Session) RunBatch(jobs ...*Job) (*BatchResult, error) {
 // Run executes a single job through the session — one Submit/Wait round of
 // one, reusing (and warming) the cache like any other round.
 func (s *Session) Run(job *Job) (*Result, error) {
-	job.Conf.Cache = s.cache
+	s.attach(job)
 	return Run(s.fs, job)
 }
 
-// Invalidate drops the cached regions of the file or dataset at prefix.
-// Generations already make stale hits impossible; Invalidate releases the
-// budget eagerly when a dataset is known dead (e.g. after RemoveAll).
-func (s *Session) Invalidate(prefix string) { s.cache.Invalidate(prefix) }
+// Invalidate drops the cached regions and vectors of the file or dataset at
+// prefix. Generations already make stale hits impossible; Invalidate
+// releases the budgets eagerly when a dataset is known dead (e.g. after
+// RemoveAll).
+func (s *Session) Invalidate(prefix string) {
+	s.cache.Invalidate(prefix)
+	s.vcache.Invalidate(prefix)
+}
+
+// VecCacheUsage reports the vector cache's resident bytes and vector count.
+func (s *Session) VecCacheUsage() (bytes int64, vectors int) {
+	return s.vcache.Used(), s.vcache.Vectors()
+}
 
 // CacheUsage reports the cache's resident bytes and region count.
 func (s *Session) CacheUsage() (bytes int64, regions int) {
@@ -96,4 +120,25 @@ func CacheStats(br *BatchResult) (hits, bytes int64) {
 		bytes += r.Total.BytesFromCache
 	}
 	return hits, bytes
+}
+
+// VecStats sums a batch's vectorized-execution counters: rows evaluated
+// batch-at-a-time, vector-cache hits, and decoded values those hits saved,
+// across the jobs' tasks and the shared cursor sets.
+func VecStats(br *BatchResult) (rows, hits, saved int64) {
+	if br == nil {
+		return 0, 0, 0
+	}
+	rows = br.Shared.RowsVectorized
+	hits = br.Shared.VecCacheHits
+	saved = br.Shared.DecodeSavedValues
+	for _, r := range br.Results {
+		if r == nil {
+			continue
+		}
+		rows += r.Total.RowsVectorized
+		hits += r.Total.VecCacheHits
+		saved += r.Total.DecodeSavedValues
+	}
+	return rows, hits, saved
 }

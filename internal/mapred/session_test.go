@@ -252,7 +252,10 @@ func TestSessionCacheReuseEquivalenceProperty(t *testing.T) {
 		}
 		sessions := make([]*mapred.Session, len(modes))
 		for m, mode := range modes {
-			sessions[m] = mapred.NewSession(fs, mapred.SessionOptions{CacheBytes: mode.bytes})
+			// The vector cache rides the same budget, so warm vectorized
+			// rounds (batches served from resident vectors) are checked
+			// against solo runs too.
+			sessions[m] = mapred.NewSession(fs, mapred.SessionOptions{CacheBytes: mode.bytes, VecCacheBytes: mode.bytes})
 		}
 
 		batches := 2 + rng.Intn(2)

@@ -13,6 +13,11 @@
 // evaluation modes:
 //
 //	Eval      exact, per record, over materialized column values;
+//	VecEval   exact, per batch: the same verdicts as Eval computed over
+//	          column vectors (Vector) and selection bitmaps (Selection),
+//	          with AND/OR as narrowing/union bitmap arithmetic so a
+//	          column alive only under an empty selection is never
+//	          decoded — see docs/VECTORIZED.md;
 //	Prune     conservative, per record group, over ColStats — NoMatch
 //	          proves the group holds no qualifying record;
 //	MatchAll  conservative, per record group — true proves every record
@@ -46,8 +51,13 @@
 //
 //   - Pushdown equivalence (property_test.go): a pushdown scan returns
 //     exactly the records a full scan plus an in-memory filter returns,
-//     over random schemas, predicates, layouts, and projections — Prune
+//     over random schemas, predicates, layouts, projections, and both
+//     execution modes (the vectorize dimension is randomized) — Prune
 //     and MatchAll are proofs, never heuristics.
+//   - Vectorized equivalence (vector_test.go): VecEval's selection
+//     bitmaps equal per-record Eval verdicts — including which inputs
+//     error — over random vectors with nulls, type-mismatched literals,
+//     and empty selections.
 //   - Elision equivalence (elision_property_test.go): scans with
 //     scheduler-tier elision on and off, and with Bloom consultation on
 //     and off, return identical records; "records pruned at any tier +

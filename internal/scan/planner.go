@@ -185,10 +185,18 @@ type PruneReport struct {
 	// Columns are the predicate's filter columns, whose files were
 	// consulted.
 	Columns []string
+	// Vectorized reports which execution path the job's readers run:
+	// batch-at-a-time vector evaluation, or the record-at-a-time scalar
+	// loop (predicate-less scans and Spec.NoVec both report false).
+	Vectorized bool
 }
 
 // String renders a one-line summary.
 func (r PruneReport) String() string {
-	return fmt.Sprintf("scheduled %d of %d split-directories (%d pruned by file statistics, %d footers read)",
-		r.SplitsTotal-r.SplitsPruned, r.SplitsTotal, r.SplitsPruned, r.FilesChecked)
+	exec := "scalar"
+	if r.Vectorized {
+		exec = "vectorized"
+	}
+	return fmt.Sprintf("scheduled %d of %d split-directories (%d pruned by file statistics, %d footers read), %s execution",
+		r.SplitsTotal-r.SplitsPruned, r.SplitsTotal, r.SplitsPruned, r.FilesChecked, exec)
 }

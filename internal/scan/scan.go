@@ -196,6 +196,11 @@ type Predicate interface {
 	// prefix, and key tests against a null value are false (no
 	// three-valued logic: Not(x) is the strict complement of x).
 	Eval(ev Evaluator) (bool, error)
+	// VecEval decides the predicate for a whole batch: it returns the
+	// subset of in whose rows match, examining exactly the
+	// (row, subpredicate) pairs the scalar short-circuit order would, so
+	// verdicts and errors agree with per-record Eval. in is not mutated.
+	VecEval(src VecSource, in *Selection) (*Selection, error)
 	// Prune decides conservatively whether a record group can contain a
 	// match, given per-column zone maps. NoMatch is a proof; MayMatch is
 	// not a promise.

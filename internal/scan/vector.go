@@ -1,0 +1,359 @@
+package scan
+
+import "math/bits"
+
+// Column vectors and selection bitmaps — the data shapes of vectorized
+// execution. A Vector holds one column's values for a contiguous batch of
+// records in flat typed storage (no per-value boxing); a Selection is a
+// bitmap over the batch's rows. Predicates evaluate batch-at-a-time via
+// VecEval, narrowing a Selection instead of deciding one record at a time.
+
+// VecKind is the physical representation of a Vector.
+type VecKind int
+
+// Vector representations. Primitive serde kinds map to dedicated typed
+// storage; complex kinds (arrays, maps, nested records) fall back to boxed
+// VecAny storage, which vectorizes control flow but not object churn.
+const (
+	VecBool VecKind = iota
+	VecInt32
+	VecInt64
+	VecFloat64
+	VecString
+	VecBytes
+	VecAny
+)
+
+// String returns a short name for the representation.
+func (k VecKind) String() string {
+	switch k {
+	case VecBool:
+		return "bool"
+	case VecInt32:
+		return "int32"
+	case VecInt64:
+		return "int64"
+	case VecFloat64:
+		return "float64"
+	case VecString:
+		return "string"
+	case VecBytes:
+		return "bytes"
+	default:
+		return "any"
+	}
+}
+
+// Vector is one column's values for rows [0, Len()) of a batch, in flat
+// typed storage. Integer kinds (bool, int32, int64) share Ints; string and
+// bytes values share the Data/Offs arena (value i is Data[Offs[i]:Offs[i+1]]);
+// complex values are boxed in Anys. Nulls are tracked in a bitmap whose zero
+// value means "no nulls", so fully-valid columns pay nothing for validity.
+//
+// A Vector decoded by the storage layer is append-only during decode and
+// read-only afterwards; vectors admitted to a cache are shared between
+// scans and must never be mutated.
+type Vector struct {
+	Kind VecKind
+
+	Ints   []int64   // VecBool (0/1), VecInt32, VecInt64
+	Floats []float64 // VecFloat64
+	Data   []byte    // VecString / VecBytes payload arena
+	Offs   []int32   // len == Len()+1 for VecString / VecBytes
+	Anys   []any     // VecAny
+
+	null []uint64 // validity bitmap, bit set = null; nil when all valid
+	n    int
+}
+
+// NewVector returns an empty vector of the given representation with
+// capacity hints applied.
+func NewVector(kind VecKind, capacity int) *Vector {
+	v := &Vector{Kind: kind}
+	v.Reset(kind, capacity)
+	return v
+}
+
+// Reset empties the vector for reuse, switching it to the given
+// representation and growing storage toward capacity. Buffers are retained
+// across resets, so a pooled vector's arena warms up to its working size.
+func (v *Vector) Reset(kind VecKind, capacity int) {
+	v.Kind = kind
+	v.n = 0
+	v.null = v.null[:0]
+	v.Ints = v.Ints[:0]
+	v.Floats = v.Floats[:0]
+	v.Data = v.Data[:0]
+	v.Offs = v.Offs[:0]
+	v.Anys = v.Anys[:0]
+	switch kind {
+	case VecBool, VecInt32, VecInt64:
+		if cap(v.Ints) < capacity {
+			v.Ints = make([]int64, 0, capacity)
+		}
+	case VecFloat64:
+		if cap(v.Floats) < capacity {
+			v.Floats = make([]float64, 0, capacity)
+		}
+	case VecString, VecBytes:
+		if cap(v.Offs) < capacity+1 {
+			v.Offs = make([]int32, 0, capacity+1)
+		}
+		v.Offs = append(v.Offs, 0)
+	case VecAny:
+		if cap(v.Anys) < capacity {
+			v.Anys = make([]any, 0, capacity)
+		}
+	}
+}
+
+// Len returns the number of rows.
+func (v *Vector) Len() int { return v.n }
+
+// AppendInt appends an integer-kind row (bool rows append 0/1).
+func (v *Vector) AppendInt(x int64) {
+	v.Ints = append(v.Ints, x)
+	v.n++
+}
+
+// AppendFloat appends a float64 row.
+func (v *Vector) AppendFloat(x float64) {
+	v.Floats = append(v.Floats, x)
+	v.n++
+}
+
+// AppendBytes appends a string/bytes row into the arena.
+func (v *Vector) AppendBytes(b []byte) {
+	v.Data = append(v.Data, b...)
+	v.Offs = append(v.Offs, int32(len(v.Data)))
+	v.n++
+}
+
+// AppendAny appends a boxed row.
+func (v *Vector) AppendAny(x any) {
+	v.Anys = append(v.Anys, x)
+	v.n++
+}
+
+// AppendNull appends a null row (zero-valued storage, null bit set).
+func (v *Vector) AppendNull() {
+	switch v.Kind {
+	case VecBool, VecInt32, VecInt64:
+		v.Ints = append(v.Ints, 0)
+	case VecFloat64:
+		v.Floats = append(v.Floats, 0)
+	case VecString, VecBytes:
+		v.Offs = append(v.Offs, int32(len(v.Data)))
+	case VecAny:
+		v.Anys = append(v.Anys, nil)
+	}
+	v.setNull(v.n)
+	v.n++
+}
+
+func (v *Vector) setNull(i int) {
+	w := i >> 6
+	for len(v.null) <= w {
+		v.null = append(v.null, 0)
+	}
+	v.null[w] |= 1 << (uint(i) & 63)
+}
+
+// IsNull reports whether row i is null.
+func (v *Vector) IsNull(i int) bool {
+	w := i >> 6
+	if w >= len(v.null) {
+		return false
+	}
+	return v.null[w]&(1<<(uint(i)&63)) != 0
+}
+
+// HasNulls reports whether any row is null.
+func (v *Vector) HasNulls() bool {
+	for _, w := range v.null {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// BytesAt returns the arena view of string/bytes row i. The view aliases
+// the vector's storage and must not be mutated or retained past it.
+func (v *Vector) BytesAt(i int) []byte {
+	return v.Data[v.Offs[i]:v.Offs[i+1]]
+}
+
+// Value boxes row i into the serde dynamic representation the scalar path
+// produces: bool, int32, int64, float64, string, a copied []byte, or the
+// boxed complex value; nil for null rows. Byte-identical materialization
+// from vectors depends on this mapping matching serde.Decoder.Value.
+func (v *Vector) Value(i int) any {
+	if v.IsNull(i) {
+		return nil
+	}
+	switch v.Kind {
+	case VecBool:
+		return v.Ints[i] != 0
+	case VecInt32:
+		return int32(v.Ints[i])
+	case VecInt64:
+		return v.Ints[i]
+	case VecFloat64:
+		return v.Floats[i]
+	case VecString:
+		return string(v.BytesAt(i))
+	case VecBytes:
+		b := v.BytesAt(i)
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out
+	default:
+		return v.Anys[i]
+	}
+}
+
+// MemBytes estimates the vector's resident size, the unit vector-cache
+// budgets are accounted in.
+func (v *Vector) MemBytes() int64 {
+	s := int64(len(v.Ints))*8 + int64(len(v.Floats))*8 +
+		int64(len(v.Data)) + int64(len(v.Offs))*4 + int64(len(v.null))*8
+	for _, a := range v.Anys {
+		s += boxedSize(a)
+	}
+	return s
+}
+
+// boxedSize is a coarse per-object footprint estimate for VecAny rows.
+func boxedSize(a any) int64 {
+	switch x := a.(type) {
+	case nil:
+		return 8
+	case string:
+		return 16 + int64(len(x))
+	case []byte:
+		return 24 + int64(len(x))
+	case map[string]any:
+		s := int64(48)
+		for k, v := range x {
+			s += 16 + int64(len(k)) + boxedSize(v)
+		}
+		return s
+	case []any:
+		s := int64(24)
+		for _, e := range x {
+			s += boxedSize(e)
+		}
+		return s
+	default:
+		return 16
+	}
+}
+
+// Selection is a bitmap over the rows of a batch. Operations never extend
+// past the batch length.
+type Selection struct {
+	words []uint64
+	n     int
+}
+
+// NewSelection returns a selection of n rows, all selected.
+func NewSelection(n int) *Selection {
+	s := &Selection{words: make([]uint64, (n+63)/64), n: n}
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+	return s
+}
+
+// NewEmptySelection returns a selection of n rows, none selected.
+func NewEmptySelection(n int) *Selection {
+	return &Selection{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// trim clears bits beyond the row count so whole-word operations stay exact.
+func (s *Selection) trim() {
+	if tail := uint(s.n) & 63; tail != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << tail) - 1
+	}
+}
+
+// Len returns the number of rows the selection covers.
+func (s *Selection) Len() int { return s.n }
+
+// Count returns the number of selected rows.
+func (s *Selection) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no row is selected.
+func (s *Selection) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Test reports whether row i is selected.
+func (s *Selection) Test(i int) bool {
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set selects row i.
+func (s *Selection) Set(i int) {
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear deselects row i.
+func (s *Selection) Clear(i int) {
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Clone returns an independent copy.
+func (s *Selection) Clone() *Selection {
+	return &Selection{words: append([]uint64(nil), s.words...), n: s.n}
+}
+
+// And intersects s with o in place (bitmap AND).
+func (s *Selection) And(o *Selection) {
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+}
+
+// Or unions o into s in place (bitmap OR).
+func (s *Selection) Or(o *Selection) {
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// AndNot removes o's rows from s in place (s &^= o).
+func (s *Selection) AndNot(o *Selection) {
+	for i := range s.words {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// Next returns the first selected row >= i, or -1 when none remains. It is
+// the iteration primitive batch consumers drain matches with.
+func (s *Selection) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	for i < s.n {
+		w := s.words[i>>6] >> (uint(i) & 63)
+		if w != 0 {
+			return i + bits.TrailingZeros64(w)
+		}
+		i = (i>>6 + 1) << 6
+	}
+	return -1
+}

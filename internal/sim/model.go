@@ -33,6 +33,17 @@ type CostModel struct {
 	LzoCompRate  float64
 	DictCompRate float64
 
+	// VecRate is bytes/second for decoding encoded primitives into typed
+	// column vectors (vectorized execution): flat array writes, no boxing.
+	VecRate float64
+	// VecValueCost is seconds per vector entry appended (residual per-value
+	// loop overhead of vectorized decode — branchy varint stepping, offset
+	// bookkeeping — an order of magnitude below ValueCost's object churn).
+	VecValueCost float64
+	// VecBatchCost is seconds of fixed overhead per vector batch built
+	// (selection-bitmap allocation, batch setup, goroutine handoff).
+	VecBatchCost float64
+
 	// RecordCost is seconds per record object materialized.
 	RecordCost float64
 	// ValueCost is seconds per field value materialized into an object.
@@ -84,6 +95,10 @@ func DefaultModelFor(c ClusterConfig) CostModel {
 		LzoCompRate:    150 * MB,
 		DictCompRate:   400 * MB,
 
+		VecRate:      1200 * MB,
+		VecValueCost: 0.001e-6,
+		VecBatchCost: 2e-6,
+
 		RecordCost: 0.05e-6,
 		ValueCost:  0.01e-6,
 		EmitCost:   0.5e-6,
@@ -108,8 +123,17 @@ func (m CostModel) CPUSeconds(c CPUStats) float64 {
 		float64(c.LzoCompBytes)/m.LzoCompRate +
 		float64(c.DictCompBytes)/m.DictCompRate +
 		float64(c.RecordsMaterialized)*m.RecordCost +
-		float64(c.ValuesMaterialized)*m.ValueCost
+		float64(c.ValuesMaterialized)*m.ValueCost +
+		float64(c.VecBytes)/m.VecRate +
+		float64(c.VecValues)*m.VecValueCost
 	return s
+}
+
+// VecSeconds prices the vectorized-execution bookkeeping of a task: fixed
+// batch-setup overhead per vector batch. The decode work itself is priced in
+// CPUSeconds through VecBytes/VecValues.
+func (m CostModel) VecSeconds(t TaskStats) float64 {
+	return float64(t.VecBatches) * m.VecBatchCost
 }
 
 // ViewCPUSeconds prices decode work using the view (C++-analogue) rates.
@@ -161,7 +185,7 @@ func (m CostModel) MapTaskSeconds(t TaskStats) float64 {
 	io := m.IOSeconds(t.IO, m.Cluster.PerSlotDiskBandwidth(), m.Cluster.PerSlotNetBandwidth())
 	cpu := m.CPUSeconds(t.CPU)
 	emit := float64(t.OutputRecords) * m.EmitCost
-	return io + cpu + emit
+	return io + cpu + emit + m.VecSeconds(t)
 }
 
 // ScanSeconds prices a single-threaded scan on an otherwise idle node
@@ -170,7 +194,7 @@ func (m CostModel) MapTaskSeconds(t TaskStats) float64 {
 func (m CostModel) ScanSeconds(t TaskStats) float64 {
 	io := m.IOSeconds(t.IO, m.Cluster.DiskBandwidth, m.Cluster.NetBandwidth)
 	cpu := m.CPUSeconds(t.CPU)
-	return io + cpu
+	return io + cpu + m.VecSeconds(t)
 }
 
 // MapTime prices the paper's "map time" metric: the total time consumed by

@@ -114,6 +114,8 @@ func TestCPUSecondsLinearity(t *testing.T) {
 			clamp(&s.DictCompBytes)
 			clamp(&s.RecordsMaterialized)
 			clamp(&s.ValuesMaterialized)
+			clamp(&s.VecBytes)
+			clamp(&s.VecValues)
 		}
 		abs(&a)
 		abs(&b)

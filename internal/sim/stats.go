@@ -98,6 +98,15 @@ type CPUStats struct {
 	// ValuesMaterialized is the number of field values deserialized into
 	// objects.
 	ValuesMaterialized int64
+	// VecBytes is bytes of encoded primitive data decoded into typed column
+	// vectors (vectorized execution). Vector decode writes into flat typed
+	// arrays — no per-value object — so it is priced near memory bandwidth
+	// rather than at the boxed rates.
+	VecBytes int64
+	// VecValues is the number of vector entries appended by vectorized
+	// decode (the per-value loop overhead that remains after boxing is
+	// eliminated).
+	VecValues int64
 }
 
 // Add accumulates o into s.
@@ -117,6 +126,8 @@ func (s *CPUStats) Add(o CPUStats) {
 	s.DictCompBytes += o.DictCompBytes
 	s.RecordsMaterialized += o.RecordsMaterialized
 	s.ValuesMaterialized += o.ValuesMaterialized
+	s.VecBytes += o.VecBytes
+	s.VecValues += o.VecValues
 }
 
 // Scale multiplies every counter by k.
@@ -136,6 +147,8 @@ func (s *CPUStats) Scale(k float64) {
 	s.DictCompBytes = scaleInt(s.DictCompBytes, k)
 	s.RecordsMaterialized = scaleInt(s.RecordsMaterialized, k)
 	s.ValuesMaterialized = scaleInt(s.ValuesMaterialized, k)
+	s.VecBytes = scaleInt(s.VecBytes, k)
+	s.VecValues = scaleInt(s.VecValues, k)
 }
 
 // TaskStats is the complete work profile of one task (or one scan).
@@ -191,6 +204,18 @@ type TaskStats struct {
 	// non-zero cache budget ran the task (hdfs.ScanCache).
 	CacheHits      int64
 	BytesFromCache int64
+	// VecBatches is the number of column-vector batches the vectorized
+	// execution path built and evaluated; RowsVectorized is the records
+	// those batches covered (each record counted once, however many column
+	// vectors were decoded for it). Both are zero on the scalar path.
+	VecBatches     int64
+	RowsVectorized int64
+	// VecCacheHits is the number of per-column decoded vectors a session's
+	// vector cache served instead of re-decoding; DecodeSavedValues is the
+	// vector entries those hits held (decode work skipped entirely — the
+	// bytes charge neither I/O nor decode CPU).
+	VecCacheHits      int64
+	DecodeSavedValues int64
 }
 
 // Add accumulates o into s.
@@ -210,6 +235,10 @@ func (s *TaskStats) Add(o TaskStats) {
 	s.BytesSaved += o.BytesSaved
 	s.CacheHits += o.CacheHits
 	s.BytesFromCache += o.BytesFromCache
+	s.VecBatches += o.VecBatches
+	s.RowsVectorized += o.RowsVectorized
+	s.VecCacheHits += o.VecCacheHits
+	s.DecodeSavedValues += o.DecodeSavedValues
 }
 
 // Scale multiplies every counter by k.
@@ -229,6 +258,10 @@ func (s *TaskStats) Scale(k float64) {
 	s.BytesSaved = scaleInt(s.BytesSaved, k)
 	s.CacheHits = scaleInt(s.CacheHits, k)
 	s.BytesFromCache = scaleInt(s.BytesFromCache, k)
+	s.VecBatches = scaleInt(s.VecBatches, k)
+	s.RowsVectorized = scaleInt(s.RowsVectorized, k)
+	s.VecCacheHits = scaleInt(s.VecCacheHits, k)
+	s.DecodeSavedValues = scaleInt(s.DecodeSavedValues, k)
 }
 
 func scaleInt(v int64, k float64) int64 {
