@@ -65,6 +65,14 @@ var experiments = []struct {
 			}
 			return writeJSON("BENCH_vectorized.json", res)
 		}},
+	{"agg", "aggregation pushdown sweep: in-scan folding vs materialize-then-fold, plus dictionary-id evaluation (writes BENCH_agg.json)",
+		func(c bench.Config) error {
+			res, err := bench.Aggregation(c)
+			if err != nil {
+				return err
+			}
+			return writeJSON("BENCH_agg.json", res)
+		}},
 	{"serve", "scan server sweep: sharing window vs continuous arrivals (rate x overlap x window)",
 		func(c bench.Config) error { _, err := bench.Serve(c); return err }},
 	{"skiplevels", "ablation: skip-list level configuration",

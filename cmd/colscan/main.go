@@ -72,6 +72,7 @@ func main() {
 		elide   = flag.Bool("elide", true, "let CIF drop split-directories from footer statistics before scheduling")
 		vect    = flag.Bool("vectorize", true, "evaluate CIF predicates batch-at-a-time over decoded column vectors")
 		cache   = flag.Int64("cache", 0, "session scan-cache budget in bytes; runs the -where clauses as rounds of one cache-backed session")
+		agg     = flag.String("agg", "", `aggregation pushed into the CIF scan, e.g. 'count,min(int0) group by str0'; answered from zone stats and vectors, no records materialized`)
 		seed    = flag.Int64("seed", 2011, "generator seed")
 	)
 	flag.Var(&wheres, "where", `selection predicate, e.g. 'int0 <= 100 && prefix(str0, "ab")'; repeat to run a shared batch`)
@@ -268,6 +269,64 @@ func main() {
 	if *cache > 0 && len(preds) > 0 {
 		sessionScan(fs, model, "/s/cif", proj, preds, *lazy, *elide, *vect, *cache)
 	}
+
+	// With -agg, push the aggregation into the CIF scan and compare against
+	// answering it from materialized records.
+	if *agg != "" {
+		aggScan(fs, model, "/s/cif", *agg, pred, *elide, *vect)
+	}
+}
+
+// aggScan runs the aggregation pushed into the scan, prints its rows, and
+// compares the modeled cost against a materializing scan that folds the
+// same records after the reader surfaces them.
+func aggScan(fs *hdfs.FileSystem, model sim.CostModel, dataset, aggSrc string, pred scan.Predicate, elide, vect bool) {
+	a, err := scan.ParseAggregate(aggSrc)
+	check(err)
+
+	res, err := mapred.Run(fs, core.ScanDataset(dataset).
+		Where(pred).Elide(elide).Vectorize(vect).Aggregate(a).AggJob())
+	check(err)
+
+	// The materializing baseline: same projection and predicate, records
+	// surfaced to a map function that folds the same state by hand.
+	base := scan.NewAggState(a)
+	baseRes, err := mapred.Run(fs, core.ScanDataset(dataset).
+		Columns(a.Columns(nil)...).Where(pred).Elide(elide).Vectorize(vect).
+		Job(mapred.MapperFunc(func(_, v any, _ mapred.Emit) error {
+			rec := v.(serde.Record)
+			return base.FoldRecord(scan.Getter(func(col string) (any, error) { return rec.Get(col) }))
+		})))
+	check(err)
+
+	fmt.Printf("\naggregation %q pushed into the scan:\n\n", a)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	header := "group"
+	for _, f := range a.Funcs {
+		header += "\t" + f.String()
+	}
+	fmt.Fprintln(tw, header)
+	for _, row := range res.Agg.Rows() {
+		line := fmt.Sprintf("%v", row.Group)
+		if a.GroupBy == "" {
+			line = "(all)"
+		}
+		for _, v := range row.Values {
+			line += fmt.Sprintf("\t%v", v)
+		}
+		fmt.Fprintln(tw, line)
+	}
+	tw.Flush()
+
+	st := res.Total
+	fmt.Printf("\nfolded %d rows in %d batches, %d zone-stat shortcuts, %d dict-id compares, %d values materialized\n",
+		st.RowsAggregated, st.AggBatches, st.AggGroupsShortcut, st.DictIdCompares, st.CPU.ValuesMaterialized)
+	pushSec, matSec := model.ScanSeconds(st), model.ScanSeconds(baseRes.Total)
+	speedup := "equal"
+	if pushSec > 0 && matSec > pushSec {
+		speedup = fmt.Sprintf("%.1fx faster", matSec/pushSec)
+	}
+	fmt.Printf("modeled: pushdown %.4fs vs materializing fold %.4fs (%s)\n", pushSec, matSec, speedup)
 }
 
 // cifJob builds one map-only CIF job over the dataset through the typed

@@ -68,8 +68,9 @@ func NewReaderOpts(r ReaderAtSize, schema *serde.Schema, opts ReaderOptions, sta
 		if len(h.levels) == 0 {
 			return nil, fmt.Errorf("colfile: %s file with no levels", h.layout)
 		}
-		if h.layout == DCSL && schema.Kind != serde.KindMap {
-			return nil, fmt.Errorf("colfile: DCSL file for non-map schema %s", schema.Kind)
+		if h.layout == DCSL && schema.Kind != serde.KindMap &&
+			schema.Kind != serde.KindString && schema.Kind != serde.KindBytes {
+			return nil, fmt.Errorf("colfile: DCSL file for non-dictionary schema %s", schema.Kind)
 		}
 		return &slReader{
 			statsLoader: zm,
@@ -358,6 +359,21 @@ func (r *slReader) Value() (any, error) {
 		if r.dict == nil {
 			return nil, fmt.Errorf("colfile: DCSL value before dictionary")
 		}
+		if r.schema.Kind != serde.KindMap {
+			// Dictionary-encoded string/bytes: an empty blob is null,
+			// otherwise the blob is the value's uvarint id.
+			val, err := r.dictValue(buf)
+			if err != nil {
+				return nil, err
+			}
+			if r.stats != nil {
+				compress.ChargeDecomp(r.stats, "dict", int64(len(buf)))
+				r.stats.ValuesMaterialized++
+			}
+			r.rec++
+			r.aligned = false
+			return val, nil
+		}
 		d := serde.NewDecoder(buf, nil)
 		m, err := parseDictMap(d, r.schema, r.dict)
 		if err != nil {
@@ -453,7 +469,7 @@ func (r *slReader) SkipTo(target int64) error {
 // the current record's (id, value) pairs comparing ids, skipping element
 // bytes, building no objects. The walk is priced as raw byte movement.
 func (r *slReader) HasKey(key string) (bool, bool, error) {
-	if !r.dcsl || r.rec >= r.total {
+	if !r.dcsl || r.schema.Kind != serde.KindMap || r.rec >= r.total {
 		return false, false, nil
 	}
 	if key != r.probeKey {
@@ -541,6 +557,28 @@ func (r *slReader) walkOne() error {
 	r.rec++
 	r.aligned = false
 	return nil
+}
+
+// dictValue materializes one dictionary-encoded string/bytes value from
+// its blob: empty means null, otherwise a uvarint id into the window
+// dictionary. Looked-up strings are shared interned objects; bytes
+// columns copy them out since callers may mutate byte slices.
+func (r *slReader) dictValue(buf []byte) (any, error) {
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	id, n := binary.Uvarint(buf)
+	if n <= 0 || n != len(buf) {
+		return nil, fmt.Errorf("colfile: malformed dictionary id")
+	}
+	s, err := r.dict.Lookup(uint32(id))
+	if err != nil {
+		return nil, err
+	}
+	if r.schema.Kind == serde.KindBytes {
+		return []byte(s), nil
+	}
+	return s, nil
 }
 
 // parseDictMap materializes one dictionary-compressed map value. All bytes

@@ -247,7 +247,7 @@ func (r *slReader) DecodeVector(start, end int64, v *scan.Vector, cpu *sim.CPUSt
 			return fmt.Errorf("colfile: value body: %w", err)
 		}
 		switch {
-		case r.dcsl:
+		case r.dcsl && r.schema.Kind == serde.KindMap:
 			if r.dict == nil {
 				return fmt.Errorf("colfile: DCSL value before dictionary")
 			}
@@ -261,6 +261,31 @@ func (r *slReader) DecodeVector(start, end int64, v *scan.Vector, cpu *sim.CPUSt
 				r.stats.ValuesMaterialized += int64(len(m) + 1)
 			}
 			v.AppendAny(m)
+		case r.dcsl:
+			// Dictionary-encoded string/bytes: expand the id through the
+			// window dictionary. The expansion is what the dictionary-id
+			// path (DecodeIDVector) avoids — here the full string lands in
+			// the vector arena and is charged at the vector rate.
+			if r.dict == nil {
+				return fmt.Errorf("colfile: DCSL value before dictionary")
+			}
+			if len(buf) == 0 {
+				v.AppendNull()
+			} else {
+				id, n := binary.Uvarint(buf)
+				if n <= 0 || n != len(buf) {
+					return fmt.Errorf("colfile: malformed dictionary id")
+				}
+				s, err := r.dict.Lookup(uint32(id))
+				if err != nil {
+					return err
+				}
+				v.AppendString(s)
+				if r.stats != nil {
+					compress.ChargeDecomp(r.stats, "dict", int64(len(buf)))
+				}
+				chargeVec(r.stats, len(s))
+			}
 		case boxed:
 			var local sim.CPUStats
 			d := serde.NewDecoder(buf, &local)
@@ -286,6 +311,82 @@ func (r *slReader) DecodeVector(start, end int64, v *scan.Vector, cpu *sim.CPUSt
 		r.aligned = false
 	}
 	return nil
+}
+
+// IDVectorDecoder is implemented by readers (DCSL string/bytes) that can
+// decode a record range as dictionary ids instead of values: the ids are a
+// fraction of the string bytes, and equality predicates compare ids
+// directly (scan.IDVector). answered is false (with iv and the cursor
+// untouched) when the column's storage is not dictionary-encoded scalars —
+// other layouts, or DCSL map columns whose values are id *sets*.
+type IDVectorDecoder interface {
+	DecodeIDVector(start, end int64, iv *scan.IDVector, cpu *sim.CPUStats) (answered bool, err error)
+}
+
+// DecodeIDVector implements IDVectorDecoder for DCSL string/bytes columns.
+// Each window contributes one IDSegment carrying its dictionary, so the
+// evaluator resolves a needle once per window. Only the id bytes are
+// charged — no dictionary expansion happens.
+func (r *slReader) DecodeIDVector(start, end int64, iv *scan.IDVector, cpu *sim.CPUStats) (bool, error) {
+	if !r.dcsl || r.schema.Kind == serde.KindMap {
+		return false, nil
+	}
+	if start < r.rec {
+		return false, fmt.Errorf("colfile: id decode from %d behind cursor %d", start, r.rec)
+	}
+	if end > r.total {
+		return false, fmt.Errorf("colfile: id decode to %d past end %d", end, r.total)
+	}
+	saved := r.stats
+	r.stats = cpu
+	defer func() { r.stats = saved }()
+	if err := r.SkipTo(start); err != nil {
+		return false, err
+	}
+	var (
+		segDict  *compress.Dictionary
+		segStart = iv.Len()
+		curWin   = int64(-1)
+	)
+	for r.rec < end {
+		if err := r.align(); err != nil {
+			return false, err
+		}
+		if r.dict == nil {
+			return false, fmt.Errorf("colfile: DCSL value before dictionary")
+		}
+		win := r.rec - r.rec%r.maxLevel()
+		if win != curWin {
+			if curWin != -1 {
+				iv.CloseSegment(segStart, segDict)
+				segStart = iv.Len()
+			}
+			curWin = win
+			segDict = r.dict
+		}
+		n64, err := r.s.readUvarint()
+		if err != nil {
+			return false, fmt.Errorf("colfile: value length: %w", err)
+		}
+		buf, err := r.s.readFull(int(n64))
+		if err != nil {
+			return false, fmt.Errorf("colfile: value body: %w", err)
+		}
+		if len(buf) == 0 {
+			iv.AppendNull()
+		} else {
+			id, n := binary.Uvarint(buf)
+			if n <= 0 || n != len(buf) {
+				return false, fmt.Errorf("colfile: malformed dictionary id")
+			}
+			iv.AppendID(uint32(id))
+			chargeVec(r.stats, len(buf))
+		}
+		r.rec++
+		r.aligned = false
+	}
+	iv.CloseSegment(segStart, segDict)
+	return true, nil
 }
 
 // ProbeKeys implements KeyVecProber for DCSL files.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 
 	"colmr/internal/compress"
 	"colmr/internal/serde"
@@ -21,8 +22,9 @@ func NewWriter(w io.Writer, schema *serde.Schema, opts Options, stats *sim.CPUSt
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Layout == DCSL && schema.Kind != serde.KindMap {
-		return nil, fmt.Errorf("colfile: DCSL layout requires a map column, got %s", schema.Kind)
+	if opts.Layout == DCSL && schema.Kind != serde.KindMap &&
+		schema.Kind != serde.KindString && schema.Kind != serde.KindBytes {
+		return nil, fmt.Errorf("colfile: DCSL layout requires a map, string, or bytes column, got %s", schema.Kind)
 	}
 	h := header{layout: opts.Layout, levels: opts.Levels, codec: opts.Codec}
 	if opts.Layout == Plain || opts.Layout == SkipList || opts.Layout == DCSL {
@@ -203,8 +205,19 @@ func (s *slWriter) minLevel() int { return s.levels[len(s.levels)-1] }
 
 func (s *slWriter) Append(v any) error {
 	if s.dcsl {
-		if _, ok := v.(map[string]any); !ok {
-			return fmt.Errorf("colfile: DCSL append: value %T is not a map", v)
+		switch s.schema.Kind {
+		case serde.KindMap:
+			if _, ok := v.(map[string]any); !ok {
+				return fmt.Errorf("colfile: DCSL append: value %T is not a map", v)
+			}
+		case serde.KindString:
+			if _, ok := v.(string); !ok && v != nil {
+				return fmt.Errorf("colfile: DCSL append: value %T is not a string", v)
+			}
+		default: // serde.KindBytes
+			if _, ok := v.([]byte); !ok && v != nil {
+				return fmt.Errorf("colfile: DCSL append: value %T is not bytes", v)
+			}
 		}
 		s.boxed = append(s.boxed, v)
 	} else {
@@ -258,21 +271,36 @@ func (s *slWriter) flush() error {
 	windowBase := s.count - int64(w)
 
 	// DCSL: build the window dictionary and re-encode values with
-	// dictionary-compressed keys.
+	// dictionary-compressed keys (map columns) or as bare dictionary ids
+	// (string/bytes columns; nulls encode as an empty value blob, which no
+	// non-null value produces since an id is at least one byte).
 	var dictBlob []byte
 	enc := s.encoded
 	if s.dcsl {
 		dict := compress.NewDictionary()
-		for _, v := range s.boxed {
-			for _, k := range mapKeysSorted(v.(map[string]any)) {
-				dict.Add(k)
+		if s.schema.Kind == serde.KindMap {
+			for _, v := range s.boxed {
+				for _, k := range mapKeysSorted(v.(map[string]any)) {
+					dict.Add(k)
+				}
+			}
+		} else {
+			// Sorted insertion keeps the id assignment — and so the file
+			// bytes — deterministic for identical data.
+			for _, v := range stringsSorted(s.boxed) {
+				dict.Add(v)
 			}
 		}
 		enc = make([][]byte, w)
 		var rawTotal int64
 		for i, v := range s.boxed {
-			b, err := appendDictMap(nil, dict, s.schema, v.(map[string]any))
-			if err != nil {
+			var b []byte
+			var err error
+			if s.schema.Kind == serde.KindMap {
+				if b, err = appendDictMap(nil, dict, s.schema, v.(map[string]any)); err != nil {
+					return err
+				}
+			} else if b, err = appendDictValue(nil, dict, v); err != nil {
 				return err
 			}
 			enc[i] = prefixed(b)
@@ -366,6 +394,50 @@ func appendDictMap(dst []byte, dict *compress.Dictionary, schema *serde.Schema, 
 		}
 	}
 	return dst, nil
+}
+
+// appendDictValue encodes one string/bytes value as its dictionary id
+// (uvarint). Null values encode as nothing: the record's length prefix is
+// zero, a spelling no non-null value shares.
+func appendDictValue(dst []byte, dict *compress.Dictionary, v any) ([]byte, error) {
+	s, ok := dictNeedle(v)
+	if !ok {
+		return dst, nil // null
+	}
+	id, present := dict.ID(s)
+	if !present {
+		return dst, fmt.Errorf("colfile: dict missing value %q", s)
+	}
+	return binary.AppendUvarint(dst, uint64(id)), nil
+}
+
+// dictNeedle views a string/bytes value as a dictionary string; ok is
+// false for null.
+func dictNeedle(v any) (string, bool) {
+	switch x := v.(type) {
+	case string:
+		return x, true
+	case []byte:
+		return string(x), true
+	}
+	return "", false
+}
+
+// stringsSorted returns the window's distinct non-null values in sorted
+// order for deterministic dictionary construction.
+func stringsSorted(vals []any) []string {
+	seen := make(map[string]struct{}, len(vals))
+	out := make([]string, 0, len(vals))
+	for _, v := range vals {
+		if s, ok := dictNeedle(v); ok {
+			if _, dup := seen[s]; !dup {
+				seen[s] = struct{}{}
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 func mapKeysSorted(m map[string]any) []string {

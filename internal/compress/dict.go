@@ -46,6 +46,13 @@ func (d *Dictionary) ID(s string) (uint32, bool) {
 	return id, ok
 }
 
+// ResolveID implements scan.IDResolver: it reports the needle's id within
+// this dictionary and whether the dictionary contains it, letting predicate
+// evaluation run in id space without materializing strings.
+func (d *Dictionary) ResolveID(needle string) (uint32, bool) {
+	return d.ID(needle)
+}
+
 // Len returns the number of interned strings.
 func (d *Dictionary) Len() int { return len(d.strings) }
 

@@ -70,6 +70,16 @@ func resolveSpec(conf *mapred.JobConf) (scan.Spec, error) {
 	if !spec.NoVec {
 		spec.NoVec = !scan.VectorizeFromConf(conf)
 	}
+	if spec.Agg == nil {
+		agg, err := scan.AggFromConf(conf)
+		if err != nil {
+			return spec, err
+		}
+		spec.Agg = agg
+	}
+	if err := spec.Agg.Validate(); err != nil {
+		return spec, err
+	}
 	return spec, nil
 }
 
@@ -247,7 +257,14 @@ func (f *InputFormat) planDirs(fs *hdfs.FileSystem, conf *mapred.JobConf, allowE
 	planner.SetBloom(spec.Bloom())
 	// Locality ranks by the files a map task will actually open: the
 	// projection plus any filter-only predicate columns (Columns dedups
-	// against the slice it extends).
+	// against the slice it extends). An aggregation narrows an empty
+	// projection to its own columns and widens a set one with them — the
+	// reader opens exactly that set.
+	if spec.Agg != nil && len(columns) == 0 {
+		columns = spec.Agg.Columns(nil)
+	} else if spec.Agg != nil {
+		columns = spec.Agg.Columns(append([]string(nil), columns...))
+	}
 	if pred != nil && len(columns) > 0 {
 		columns = pred.Columns(append([]string(nil), columns...))
 	}
@@ -462,14 +479,13 @@ func (f *InputFormat) Open(fs *hdfs.FileSystem, conf *mapred.JobConf, split mapr
 		return nil, err
 	}
 	columns := spec.Columns
-	if len(columns) == 0 {
+	if len(columns) == 0 && spec.Agg == nil {
 		columns = csplit.Columns
 	}
 	// The reader's file tier runs only for splits the scheduler has not
 	// already judged (and not at all when elision is disabled).
 	fileTier := spec.Elide() && !csplit.Judged
-	return newReader(fs, csplit.Dirs, columns, spec.Lazy, spec.Predicate, fileTier, spec.Bloom(),
-		spec.Vectorize(), conf.Cache, conf.VecCache, node, stats)
+	return newReader(fs, csplit.Dirs, columns, &spec, fileTier, conf.Cache, conf.VecCache, node, stats)
 }
 
 // Reader iterates the records of a CIF split. It is also usable directly
@@ -510,8 +526,21 @@ type Reader struct {
 	// through exactly one exists() test and not projected, so consuming
 	// their stream without producing values is safe.
 	probeOnly map[string]bool
+	// idOnly marks filter columns safe for dictionary-id evaluation: every
+	// use is an equality/inequality or null test, and the column is neither
+	// projected nor aggregated, so decoding its id vector (which consumes
+	// the stream without producing values) cannot starve a later value
+	// access.
+	idOnly map[string]bool
 	// batch is the active evaluated batch (nil between batches).
 	batch *colBatch
+
+	// agg, when set, turns the scan into an aggregation: DrainAggregate
+	// folds qualifying rows into aggState and Next is never used. aggCols
+	// are the aggregate's input columns (function arguments + group-by).
+	agg      *scan.Aggregate
+	aggState *scan.AggState
+	aggCols  []string
 
 	schema  *serde.Schema // full dataset schema
 	proj    *serde.Schema // projected record schema
@@ -555,10 +584,28 @@ type cursor struct {
 	phys sim.TaskStats
 }
 
-func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, pred scan.Predicate, elide, bloom, vectorize bool, cache *hdfs.ScanCache, vcache *vec.Cache, node hdfs.NodeID, stats *sim.TaskStats) (*Reader, error) {
+func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, spec *scan.Spec, fileTier bool, cache *hdfs.ScanCache, vcache *vec.Cache, node hdfs.NodeID, stats *sim.TaskStats) (*Reader, error) {
 	schema, err := readSplitSchema(fs, dirs[0])
 	if err != nil {
 		return nil, err
+	}
+	pred, agg := spec.Predicate, spec.Agg
+	// proxyOnly marks a projection invented for a pure COUNT: the column
+	// exists to pace the cursor and count rows, its values are never read,
+	// so it must not disqualify dictionary-id evaluation below.
+	proxyOnly := false
+	if agg != nil && len(columns) == 0 {
+		// An aggregation with no explicit projection reads only its own
+		// columns; a pure COUNT reads none, so any one column (the
+		// narrowest proxy for the record count) stands in.
+		if columns = agg.Columns(nil); len(columns) == 0 {
+			proxyOnly = true
+			if fc := scan.NewPlanner(pred).FilterColumns(); len(fc) > 0 {
+				columns = fc[:1]
+			} else if len(schema.Fields) > 0 {
+				columns = []string{schema.Fields[0].Name}
+			}
+		}
 	}
 	proj := schema
 	if len(columns) > 0 {
@@ -568,10 +615,10 @@ func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, 
 	} else {
 		columns = schema.FieldNames()
 	}
-	// Filter columns the projection does not cover are opened as extra
-	// cursors after the projected ones; they feed predicate evaluation but
-	// never appear in the returned record. Columns dedups against the
-	// slice it extends.
+	// Filter and aggregate columns the projection does not cover are opened
+	// as extra cursors after the projected ones; they feed predicate
+	// evaluation and aggregate folding but never appear in a returned
+	// record. Columns dedups against the slice it extends.
 	allCols := append([]string(nil), columns...)
 	if pred != nil {
 		for _, col := range pred.Columns(nil) {
@@ -581,34 +628,64 @@ func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, lazy bool, 
 		}
 		allCols = pred.Columns(allCols)
 	}
+	if agg != nil {
+		for _, col := range agg.Columns(nil) {
+			if schema.Field(col) == nil {
+				return nil, fmt.Errorf("core: aggregate references unknown column %q", col)
+			}
+		}
+		allCols = agg.Columns(allCols)
+	}
 	r := &Reader{
 		fs:             fs,
 		node:           node,
 		stats:          stats,
-		lazy:           lazy,
-		elide:          elide,
-		noBloom:        !bloom,
+		lazy:           spec.Lazy,
+		elide:          fileTier,
+		noBloom:        !spec.Bloom(),
 		planner:        scan.NewPlanner(pred),
 		cache:          cache,
-		vectorize:      vectorize && pred != nil,
+		vectorize:      spec.Vectorize() && (pred != nil || agg != nil),
 		vecCache:       vcache,
 		schema:         schema,
 		proj:           proj,
 		columns:        columns,
 		allCols:        allCols,
+		agg:            agg,
 		dirs:           dirs,
 		dirIdx:         -1,
 		lastCounted:    -1,
 		lastCountedDir: -1,
 	}
-	r.planner.SetBloom(bloom)
+	r.planner.SetBloom(spec.Bloom())
+	if agg != nil {
+		r.aggState = scan.NewAggState(agg)
+		r.aggCols = agg.Columns(nil)
+	}
 	if r.vectorize {
 		r.probeOnly = make(map[string]bool)
 		for _, col := range scan.ProbeOnlyColumns(pred) {
 			r.probeOnly[col] = true
 		}
-		for _, col := range columns {
-			delete(r.probeOnly, col)
+		if !proxyOnly {
+			for _, col := range columns {
+				delete(r.probeOnly, col)
+			}
+		}
+		// Dictionary-id evaluation: answerable columns nothing else reads
+		// by value. Projected and aggregated columns decode value vectors,
+		// so they are excluded.
+		r.idOnly = make(map[string]bool)
+		for _, col := range scan.IDOnlyColumns(pred) {
+			r.idOnly[col] = true
+		}
+		if !proxyOnly {
+			for _, col := range columns {
+				delete(r.idOnly, col)
+			}
+		}
+		for _, col := range r.aggCols {
+			delete(r.idOnly, col)
 		}
 	}
 	r.lrec = &LazyRecord{reader: r}
@@ -812,7 +889,7 @@ func (r *Reader) Next() (any, any, bool, error) {
 			}
 			continue
 		}
-		if r.vecOK {
+		if r.vecOK && r.planner.Predicate() != nil {
 			if err := r.vecAdvance(); err != nil {
 				return nil, nil, false, err
 			}

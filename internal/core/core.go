@@ -127,8 +127,9 @@ func (o LoadOptions) Validate(schema *serde.Schema) error {
 		if fs == nil {
 			return fmt.Errorf("core: layout override for unknown column %q", col)
 		}
-		if opt.Layout == colfile.DCSL && fs.Kind != serde.KindMap {
-			return fmt.Errorf("core: DCSL layout on non-map column %q", col)
+		if opt.Layout == colfile.DCSL &&
+			fs.Kind != serde.KindMap && fs.Kind != serde.KindString && fs.Kind != serde.KindBytes {
+			return fmt.Errorf("core: DCSL layout on non-dictionary column %q (map, string, and bytes only)", col)
 		}
 	}
 	if o.SplitRecords < 0 || o.SplitBytes < 0 {

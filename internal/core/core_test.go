@@ -513,8 +513,11 @@ func TestValidationErrors(t *testing.T) {
 	if _, err := NewWriter(fs, "/x", crawlSchema, LoadOptions{PerColumn: map[string]colfile.Options{"nope": {}}}, nil); err == nil {
 		t.Error("override for unknown column accepted")
 	}
-	if _, err := NewWriter(fs, "/x", crawlSchema, LoadOptions{PerColumn: map[string]colfile.Options{"url": {Layout: colfile.DCSL}}}, nil); err == nil {
-		t.Error("DCSL on string column accepted")
+	if _, err := NewWriter(fs, "/x", crawlSchema, LoadOptions{PerColumn: map[string]colfile.Options{"fetchTime": {Layout: colfile.DCSL}}}, nil); err == nil {
+		t.Error("DCSL on numeric column accepted")
+	}
+	if _, err := NewWriter(fs, "/x", crawlSchema, LoadOptions{PerColumn: map[string]colfile.Options{"url": {Layout: colfile.DCSL}}}, nil); err != nil {
+		t.Errorf("DCSL on string column rejected: %v", err)
 	}
 	in := &InputFormat{}
 	if _, err := in.Splits(fs, &mapred.JobConf{InputPaths: []string{"/missing"}}); err == nil {

@@ -41,6 +41,16 @@
 // without VectorDecoder, a shared set with a scalar member) falls back to
 // the record-at-a-time loop per directory. See docs/VECTORIZED.md.
 //
+// Jobs that only fold an aggregate skip records entirely (aggexec.go,
+// docs/AGGREGATION.md): with scan.Spec.Agg set, Reader.DrainAggregate
+// answers whole MatchAll regions from zone statistics with zero bytes
+// decoded, folds batch survivors straight from selection bitmaps and
+// vectors, and falls back to per-record folding where batching cannot
+// run — same pruning trajectory, RecordsProcessed zero. Equality
+// predicates on DCSL string/bytes columns evaluate over window-local
+// dictionary ids (colfile.DecodeIDVector) when no consumer needs the
+// strings themselves, turning string decode into integer compares.
+//
 // Invariants the property tests defend (with internal/scan's and
 // internal/mapred's property suites, which drive this package):
 //

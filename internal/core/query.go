@@ -71,6 +71,16 @@ func (b *ScanBuilder) Vectorize(on bool) *ScanBuilder {
 	return b
 }
 
+// Aggregate pushes an aggregation into the scan: the functions (and the
+// optional GROUP BY) are answered inside the readers — from zone
+// statistics where they suffice, from decoded vectors otherwise — and no
+// record ever reaches a map function. Use AggJob (or a Conf with neither
+// Mapper nor Output) to run it; the job's Result.Agg carries the rows.
+func (b *ScanBuilder) Aggregate(a *scan.Aggregate) *ScanBuilder {
+	b.spec.Agg = a.Clone()
+	return b
+}
+
 // DirsPerSplit assigns this many split-directories to one map task
 // (AutoDirsPerSplit sizes tasks from estimated selectivity).
 func (b *ScanBuilder) DirsPerSplit(n int) *ScanBuilder {
@@ -99,5 +109,15 @@ func (b *ScanBuilder) Job(m mapred.Mapper) *mapred.Job {
 		Input:  &InputFormat{},
 		Mapper: m,
 		Output: mapred.NullOutput{},
+	}
+}
+
+// AggJob returns a runnable aggregation job over the scan (Aggregate must
+// have been set): no mapper, no reducer, no output — the scan answers the
+// query, and the run's Result.Agg carries the aggregate rows.
+func (b *ScanBuilder) AggJob() *mapred.Job {
+	return &mapred.Job{
+		Conf:  b.Conf(),
+		Input: &InputFormat{},
 	}
 }

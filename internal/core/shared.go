@@ -204,6 +204,20 @@ func (f *InputFormat) OpenShared(fs *hdfs.FileSystem, confs []*mapred.JobConf, s
 			sr.vecCache = conf.VecCache
 		}
 		cols := spec.Columns
+		proxyOnly := false
+		if spec.Agg != nil && len(cols) == 0 {
+			// An aggregating member materializes nothing; its cursor needs
+			// are the aggregate's inputs (or any one column, for pure COUNT,
+			// to pace the scan).
+			if cols = spec.Agg.Columns(nil); len(cols) == 0 {
+				proxyOnly = true
+				if fc := scan.NewPlanner(spec.Predicate).FilterColumns(); len(fc) > 0 {
+					cols = fc[:1]
+				} else if len(schema.Fields) > 0 {
+					cols = []string{schema.Fields[0].Name}
+				}
+			}
+		}
 		proj := schema
 		if len(cols) > 0 {
 			if proj, err = schema.Project(cols...); err != nil {
@@ -227,12 +241,23 @@ func (f *InputFormat) OpenShared(fs *hdfs.FileSystem, confs []*mapred.JobConf, s
 		}
 		preds[k] = pred
 		m := &sharedMember{
-			proj:    proj,
-			columns: cols,
-			need:    need,
-			lazy:    spec.Lazy,
-			planner: scan.NewPlanner(pred),
-			stats:   memberStats[k],
+			proj:      proj,
+			columns:   cols,
+			need:      need,
+			lazy:      spec.Lazy,
+			planner:   scan.NewPlanner(pred),
+			stats:     memberStats[k],
+			proxyOnly: proxyOnly,
+		}
+		if spec.Agg != nil {
+			m.aggCols = spec.Agg.Columns(nil)
+			for _, col := range m.aggCols {
+				if schema.Field(col) == nil {
+					return nil, fmt.Errorf("core: aggregate references unknown column %q", col)
+				}
+				need[col] = true
+			}
+			m.aggState = scan.NewAggState(spec.Agg)
 		}
 		// The member's replay planner carries the member's own bloom
 		// setting, so its counters match a solo run exactly.
@@ -273,16 +298,34 @@ func (f *InputFormat) OpenShared(fs *hdfs.FileSystem, confs []*mapred.JobConf, s
 		for _, col := range scan.ProbeOnlyColumns(sr.groupPred...) {
 			sr.probeOnly[col] = true
 		}
+		// Dictionary-id eligibility is judged across every member's residual
+		// and needs at once: any member materializing or aggregating a
+		// column needs its values, so the shared cursor must not spend its
+		// stream on ids.
+		sr.idOnly = make(map[string]bool)
+		for _, col := range scan.IDOnlyColumns(sr.groupPred...) {
+			sr.idOnly[col] = true
+		}
 		for _, m := range sr.members {
-			for _, col := range m.columns {
-				delete(sr.probeOnly, col)
+			if !m.proxyOnly {
+				for _, col := range m.columns {
+					delete(sr.probeOnly, col)
+					delete(sr.idOnly, col)
+				}
+			}
+			for _, col := range m.aggCols {
+				delete(sr.idOnly, col)
 			}
 		}
 	}
 	// The cursor set covers the union of the members' needs: projected
-	// columns first (member order), then filter-only columns.
+	// columns first (member order), then filter-only and aggregate-only
+	// columns.
 	for _, m := range sr.members {
 		for _, c := range m.columns {
+			sr.allCols = appendColumnName(sr.allCols, c)
+		}
+		for _, c := range m.aggCols {
 			sr.allCols = appendColumnName(sr.allCols, c)
 		}
 	}
@@ -354,6 +397,7 @@ type SharedReader struct {
 	vecCache  *vec.Cache
 	vecPool   vec.Pool
 	probeOnly map[string]bool
+	idOnly    map[string]bool
 	groupPred []scan.Predicate
 	memberSel []*scan.Selection
 	batch     *colBatch
@@ -373,6 +417,19 @@ type sharedMember struct {
 	stats     *sim.TaskStats
 	evalGroup int
 	lrec      *sharedLazyRecord
+
+	// Aggregating members fold matches instead of receiving records; their
+	// records never surface from Next. Shared folds take no zone-stats
+	// shortcut (the union cursor must visit the region for the other
+	// members anyway), so a shared member's AggGroupsShortcut stays zero —
+	// an accepted physical difference from its solo run; the folded values
+	// and logical pruning counters still match exactly.
+	aggState *scan.AggState
+	aggCols  []string
+	// proxyOnly marks a projection invented for a pure COUNT: the column
+	// paces the scan but its values are never read, so it does not
+	// disqualify probe-only or dictionary-id evaluation.
+	proxyOnly bool
 
 	// Solo-replay accounting state, reset per directory: acctPos is the
 	// next unaccounted record, validTo bounds the current may-match region.
@@ -574,6 +631,13 @@ func (sr *SharedReader) Next() (any, []any, []int, bool, error) {
 				m.stats.RecordsFiltered++
 				continue
 			}
+			if m.aggState != nil {
+				if err := m.aggState.FoldRecord(sharedEval{sr}); err != nil {
+					return nil, nil, nil, false, err
+				}
+				m.stats.RowsAggregated++
+				continue
+			}
 			v, err := sr.deliver(m)
 			if err != nil {
 				return nil, nil, nil, false, err
@@ -712,6 +776,17 @@ func (sr *SharedReader) finishDir() {
 	for _, m := range sr.members {
 		sr.advanceMember(m, sr.total)
 	}
+}
+
+// AggStates implements mapred.AggSharedRecordReader: the folded state of
+// each aggregating member (nil entries for members that surface records),
+// indexed like the members slice. Valid after the reader is exhausted.
+func (sr *SharedReader) AggStates() []*scan.AggState {
+	out := make([]*scan.AggState, len(sr.members))
+	for i, m := range sr.members {
+		out[i] = m.aggState
+	}
+	return out
 }
 
 // Close implements mapred.SharedRecordReader.

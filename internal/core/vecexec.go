@@ -62,6 +62,15 @@ type batchHost interface {
 	// probe, which consumes the column's stream for the batch without
 	// producing values — only safe for columns nothing else will read.
 	batchProbeOnly(col string) bool
+	// batchIDOnly reports whether col may be served as a dictionary-id
+	// vector instead of decoded values. Decoding ids consumes the column's
+	// value stream for the batch without materializing strings, so it is
+	// only safe for columns every consumer compares by id — never
+	// materialized, never range-compared.
+	batchIDOnly(col string) bool
+	// batchDictCompares credits n integer dictionary-id comparisons that
+	// replaced string comparisons (sim.TaskStats.DictIdCompares).
+	batchDictCompares(n int64)
 }
 
 // colVecEntry memoizes one column's decode outcome for a batch.
@@ -72,6 +81,15 @@ type colVecEntry struct {
 	// be pooled when the batch retires.
 	cached bool
 	err    error
+}
+
+// idVecEntry memoizes one column's dictionary-id decode outcome for a
+// batch. A nil iv with nil err means the column declined the id path for
+// this batch (not dictionary-encoded here, or its value vector was already
+// decoded); the predicate falls back to value comparison.
+type idVecEntry struct {
+	iv  *scan.IDVector
+	err error
 }
 
 // colBatch is one contiguous batch of records [start, end) of the open
@@ -88,18 +106,20 @@ type colBatch struct {
 	sel  *scan.Selection // rows matching the predicate (set after VecEval)
 	next int             // pop cursor for match iteration
 
-	mu   sync.Mutex
-	vecs map[string]*colVecEntry
+	mu     sync.Mutex
+	vecs   map[string]*colVecEntry
+	idvecs map[string]*idVecEntry
 }
 
 func newColBatch(host batchHost, dir string, start, end int64) *colBatch {
 	return &colBatch{
-		host:  host,
-		dir:   dir,
-		start: start,
-		end:   end,
-		n:     int(end - start),
-		vecs:  make(map[string]*colVecEntry),
+		host:   host,
+		dir:    dir,
+		start:  start,
+		end:    end,
+		n:      int(end - start),
+		vecs:   make(map[string]*colVecEntry),
+		idvecs: make(map[string]*idVecEntry),
 	}
 }
 
@@ -165,6 +185,70 @@ func (b *colBatch) decode(col string) *colVecEntry {
 	}
 	return e
 }
+
+// IDVec implements scan.IDSource: the column's dictionary-id vector for
+// the batch, decoded on first use (or served from the session vector
+// cache). Returns (nil, nil) — predicate falls back to value comparison —
+// unless the host cleared the column for id-only access and its stream is
+// still unconsumed: decoding ids advances the same value stream a vector
+// decode would, so the two paths are mutually exclusive per batch.
+func (b *colBatch) IDVec(col string) (*scan.IDVector, error) {
+	if !b.host.batchIDOnly(col) {
+		return nil, nil
+	}
+	b.mu.Lock()
+	e := b.idvecs[col]
+	_, decoded := b.vecs[col]
+	b.mu.Unlock()
+	if e == nil {
+		if decoded {
+			// The value vector already consumed the stream (e.g. a cache hit
+			// from an earlier round decoded values): answer from values.
+			return nil, nil
+		}
+		e = b.decodeIDs(col)
+		b.mu.Lock()
+		b.idvecs[col] = e
+		b.mu.Unlock()
+	}
+	return e.iv, e.err
+}
+
+// decodeIDs produces col's dictionary-id vector for the batch, or an empty
+// entry when the column's layout declines (not a non-map DCSL column).
+func (b *colBatch) decodeIDs(col string) *idVecEntry {
+	c, err := b.host.batchCursor(col)
+	if err != nil {
+		return &idVecEntry{err: err}
+	}
+	cpu, ts := b.host.batchSinks(c)
+	cache := b.host.batchVecCache()
+	key := vec.Key{Path: b.dir + "/" + col, Gen: c.hr.Generation(), Start: b.start}
+	if iv := cache.GetID(key, b.end); iv != nil {
+		if ts != nil {
+			ts.VecCacheHits++
+			ts.DecodeSavedValues += int64(iv.Len())
+		}
+		return &idVecEntry{iv: iv}
+	}
+	dec, ok := c.r.(colfile.IDVectorDecoder)
+	if !ok {
+		return &idVecEntry{}
+	}
+	iv := scan.NewIDVector(b.n)
+	answered, err := dec.DecodeIDVector(b.start, b.end, iv, cpu)
+	if err != nil {
+		return &idVecEntry{err: fmt.Errorf("core: column %q id decode [%d,%d): %w", col, b.start, b.end, err)}
+	}
+	if !answered {
+		return &idVecEntry{}
+	}
+	cache.AddID(key, b.end, iv)
+	return &idVecEntry{iv: iv}
+}
+
+// CountDictIDCompares implements scan.DictCompareCounter.
+func (b *colBatch) CountDictIDCompares(n int64) { b.host.batchDictCompares(n) }
 
 // KeyVec implements scan.VecSource: map-key existence for the batch,
 // answered by the storage layer (the DCSL prober) when the column is safe to
@@ -285,12 +369,25 @@ func (r *Reader) batchVecPool() *vec.Pool { return &r.vecPool }
 // batchProbeOnly implements batchHost.
 func (r *Reader) batchProbeOnly(col string) bool { return r.probeOnly[col] }
 
+// batchIDOnly implements batchHost.
+func (r *Reader) batchIDOnly(col string) bool { return r.idOnly[col] }
+
+// batchDictCompares implements batchHost. VecEval runs serially after the
+// prefetch barrier, so the write is unsynchronized like every other
+// evaluation-phase counter.
+func (r *Reader) batchDictCompares(n int64) {
+	if r.stats != nil {
+		r.stats.DictIdCompares += n
+	}
+}
+
 // vecEligible decides, per directory, whether the batch path runs: a
-// predicate is set, the spec enables vectorization, and every filter
-// column's layout can batch-decode. Anything else falls back to the scalar
-// loop — identical results, record-at-a-time control flow.
+// predicate or aggregate is set, the spec enables vectorization, and every
+// filter and aggregate column's layout can batch-decode. Anything else
+// falls back to the scalar loop — identical results, record-at-a-time
+// control flow.
 func (r *Reader) vecEligible() bool {
-	if !r.vectorize || r.planner.Predicate() == nil {
+	if !r.vectorize || (r.planner.Predicate() == nil && r.agg == nil) {
 		return false
 	}
 	for _, col := range r.planner.FilterColumns() {
@@ -302,7 +399,34 @@ func (r *Reader) vecEligible() bool {
 			return false
 		}
 	}
+	for _, col := range r.aggCols {
+		c, ok := r.byName[col]
+		if !ok {
+			return false
+		}
+		if _, ok := c.r.(colfile.VectorDecoder); !ok {
+			return false
+		}
+	}
 	return true
+}
+
+// eagerCols filters the predicate's certain columns down to those the
+// prefetch fan-out may decode as value vectors: an id-only column must not
+// be prefetched, or its consumed stream would block the id path VecEval is
+// about to take.
+func (r *Reader) eagerCols() []string {
+	cols := scan.EagerColumns(r.planner.Predicate())
+	if len(r.idOnly) == 0 {
+		return cols
+	}
+	out := cols[:0:0]
+	for _, col := range cols {
+		if !r.idOnly[col] {
+			out = append(out, col)
+		}
+	}
+	return out
 }
 
 // vecAdvance drives the batch loop one step from curPos+1: it either prunes
@@ -335,7 +459,7 @@ func (r *Reader) vecAdvance() error {
 		end = m
 	}
 	b := newColBatch(r, r.dirs[r.dirIdx], pos, end)
-	b.prefetch(scan.EagerColumns(r.planner.Predicate()), true)
+	b.prefetch(r.eagerCols(), true)
 	sel, err := r.planner.Predicate().VecEval(b, scan.NewSelection(b.n))
 	r.foldCursorStats()
 	if err != nil {
@@ -404,6 +528,13 @@ func (sr *SharedReader) batchVecPool() *vec.Pool { return &sr.vecPool }
 
 // batchProbeOnly implements batchHost.
 func (sr *SharedReader) batchProbeOnly(col string) bool { return sr.probeOnly[col] }
+
+// batchIDOnly implements batchHost.
+func (sr *SharedReader) batchIDOnly(col string) bool { return sr.idOnly[col] }
+
+// batchDictCompares implements batchHost: shared evaluation is serial, so
+// the compare count lands in the shared physical stats directly.
+func (sr *SharedReader) batchDictCompares(n int64) { sr.shared.DictIdCompares += n }
 
 // vecEligible is the shared-scan analogue of Reader.vecEligible, judged over
 // the union predicate's filter columns.
@@ -505,6 +636,19 @@ func (sr *SharedReader) buildBatch(start, end int64) error {
 			match.And(groupSel[g])
 		}
 		m.stats.RecordsFiltered += int64(wants[mi].Count() - match.Count())
+		if m.aggState != nil {
+			// Aggregating members fold their matches here and take no part
+			// in the surfaced union — their records never materialize.
+			rows, err := m.aggState.FoldBatch(match, b)
+			if err != nil {
+				b.release()
+				return err
+			}
+			m.stats.AggBatches++
+			m.stats.RowsAggregated += rows
+			sr.memberSel[mi] = nil
+			continue
+		}
 		sr.memberSel[mi] = match
 		union.Or(match)
 	}

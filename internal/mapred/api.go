@@ -28,6 +28,27 @@ type RecordReader interface {
 	Close() error
 }
 
+// AggRecordReader is implemented by readers that can answer an aggregation
+// pushed into the scan (scan.Spec.Agg) without surfacing records: the
+// engine calls DrainAggregate instead of the Next loop, and the split's
+// contribution comes back as a partial scan.AggState to merge with the
+// other tasks'. CIF readers answer from zone statistics and decoded
+// vectors (core.Reader.DrainAggregate).
+type AggRecordReader interface {
+	RecordReader
+	// DrainAggregate consumes the split and returns its aggregate state.
+	DrainAggregate() (*scan.AggState, error)
+}
+
+// AggSharedRecordReader is implemented by shared readers whose aggregating
+// members fold inside the scan: after the reader is exhausted, AggStates
+// returns each member's folded state (nil for members that surface
+// records), indexed like OpenShared's members slice.
+type AggSharedRecordReader interface {
+	SharedRecordReader
+	AggStates() []*scan.AggState
+}
+
 // InputFormat generates splits and reads records from them — Hadoop's
 // central extensibility point.
 type InputFormat interface {
@@ -205,10 +226,37 @@ type Job struct {
 	Combiner Reducer
 }
 
+// jobAggregate resolves a job's pushed-down aggregation: the typed spec
+// wins; the legacy prop (scan.AggProp) fills in for string-typed inputs.
+// Returns nil when the job is a plain map/reduce job.
+func jobAggregate(conf *JobConf) (*scan.Aggregate, error) {
+	if conf.Scan != nil && conf.Scan.Agg != nil {
+		return conf.Scan.Agg, nil
+	}
+	return scan.AggFromConf(conf)
+}
+
 // Validate checks the job is runnable.
 func (j *Job) Validate() error {
 	if j.Input == nil {
 		return fmt.Errorf("mapred: job has no InputFormat")
+	}
+	agg, err := jobAggregate(&j.Conf)
+	if err != nil {
+		return err
+	}
+	if agg != nil {
+		// An aggregation job is answered inside the scan: no record reaches
+		// a map function and no pairs are shuffled, so user functions have
+		// nothing to run on — carrying them is a configuration bug, not a
+		// combination to guess at.
+		if err := agg.Validate(); err != nil {
+			return err
+		}
+		if j.Mapper != nil || j.Reducer != nil || j.Combiner != nil {
+			return fmt.Errorf("mapred: aggregation job carries map/reduce functions — the scan answers the aggregate; drop them or the aggregation")
+		}
+		return nil
 	}
 	if j.Mapper == nil {
 		return fmt.Errorf("mapred: job has no Mapper")

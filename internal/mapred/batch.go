@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"colmr/internal/hdfs"
+	"colmr/internal/scan"
 	"colmr/internal/sim"
 )
 
@@ -315,7 +316,22 @@ func runGroup(fs *hdfs.FileSystem, jobs []*Job, idx []int, sif SharedInputFormat
 		// so their pruning is credited to the job's aggregate directly.
 		res.Total.SplitsPruned += int64(reports[k].SplitsPruned)
 		res.Total.RecordsPruned += reports[k].RecordsPruned
-		if err := reducePhase(fs, jobs[i], outs, numParts[k], res); err != nil {
+		agg, err := jobAggregate(confs[k])
+		if err != nil {
+			return fmt.Errorf("mapred: batch job %d: %w", i, err)
+		}
+		if agg != nil {
+			merged := scan.NewAggState(agg)
+			for _, out := range outs {
+				if out.agg == nil {
+					continue
+				}
+				if err := merged.Merge(out.agg); err != nil {
+					return fmt.Errorf("mapred: batch job %d: %w", i, err)
+				}
+			}
+			res.Agg = merged
+		} else if err := reducePhase(fs, jobs[i], outs, numParts[k], res); err != nil {
 			return fmt.Errorf("mapred: batch job %d: %w", i, err)
 		}
 		br.Results[i] = res
@@ -390,6 +406,13 @@ func runSharedTask(fs *hdfs.FileSystem, sif SharedInputFormat, members []*Job, c
 	// (per-column I/O, SharedReads, BytesSaved) into shared on Close.
 	if err := rr.Close(); err != nil {
 		return nil, shared, err
+	}
+	if ar, ok := rr.(AggSharedRecordReader); ok {
+		// Aggregating members folded inside the scan; carry their partial
+		// states out with the task.
+		for pos, st := range ar.AggStates() {
+			outs[pos].agg = st
+		}
 	}
 	for pos, k := range sp.Members {
 		if members[k].Combiner != nil {

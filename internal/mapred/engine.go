@@ -8,6 +8,7 @@ import (
 
 	"colmr/internal/hdfs"
 	"colmr/internal/scan"
+	"colmr/internal/serde"
 	"colmr/internal/sim"
 )
 
@@ -36,6 +37,10 @@ type Result struct {
 	// (PlannedInputFormat): how many split-directories existed and how
 	// many were elided before scheduling. Zero-valued otherwise.
 	Plan scan.PruneReport
+	// Agg holds the aggregation result for jobs whose scan carried one
+	// (scan.Spec.Agg): every map task's partial state merged. Nil for
+	// plain map/reduce jobs. Agg.Rows() yields the result rows.
+	Agg *scan.AggState
 }
 
 type shufflePair struct {
@@ -47,6 +52,7 @@ type shufflePair struct {
 type taskOutput struct {
 	stats      sim.TaskStats
 	partitions [][]shufflePair
+	agg        *scan.AggState // aggregation jobs: the task's partial fold
 }
 
 // Run executes the job: schedule splits for locality, run map tasks in
@@ -122,6 +128,24 @@ func Run(fs *hdfs.FileSystem, job *Job) (*Result, error) {
 	res.Total.SplitsPruned += int64(plan.SplitsPruned)
 	res.Total.RecordsPruned += plan.RecordsPruned
 
+	if agg, err := jobAggregate(&job.Conf); err != nil {
+		return nil, err
+	} else if agg != nil {
+		// Aggregation jobs have no shuffle or reduce: merge the tasks'
+		// partial states into the job's answer.
+		merged := scan.NewAggState(agg)
+		for _, out := range outputs {
+			if out.agg == nil {
+				continue
+			}
+			if err := merged.Merge(out.agg); err != nil {
+				return nil, err
+			}
+		}
+		res.Agg = merged
+		return res, nil
+	}
+
 	if err := reducePhase(fs, job, outputs, numParts, res); err != nil {
 		return nil, err
 	}
@@ -168,6 +192,26 @@ func runMapTask(fs *hdfs.FileSystem, job *Job, split Split, node hdfs.NodeID, nu
 	}
 	defer reader.Close()
 
+	if agg, err := jobAggregate(&job.Conf); err != nil {
+		return nil, err
+	} else if agg != nil {
+		// The aggregation is answered inside the scan when the reader can
+		// (CIF: zone stats and vectors); other formats fold record by
+		// record here. Either way no record reaches a map function, so
+		// RecordsProcessed stays zero.
+		var st *scan.AggState
+		if ar, ok := reader.(AggRecordReader); ok {
+			st, err = ar.DrainAggregate()
+		} else {
+			st, err = drainAggRecords(reader, agg, &out.stats)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.agg = st
+		return out, nil
+	}
+
 	emit := emitInto(out, numParts)
 
 	for {
@@ -190,6 +234,43 @@ func runMapTask(fs *hdfs.FileSystem, job *Job, split Split, node hdfs.NodeID, nu
 	}
 	return out, nil
 }
+
+// drainAggRecords is the capability-free aggregation path: the reader's
+// records fold one by one through their field accessors. Formats with an
+// AggRecordReader never come here; this keeps aggregation correct (if not
+// fast) over any input.
+func drainAggRecords(reader RecordReader, agg *scan.Aggregate, stats *sim.TaskStats) (*scan.AggState, error) {
+	st := scan.NewAggState(agg)
+	for {
+		_, v, ok, err := reader.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return st, nil
+		}
+		rec, isRec := v.(serde.Record)
+		if !isRec {
+			return nil, fmt.Errorf("mapred: cannot aggregate over %T records (input format lacks AggRecordReader)", v)
+		}
+		if err := st.FoldRecord(recordEval{rec}); err != nil {
+			return nil, err
+		}
+		stats.RowsAggregated++
+	}
+}
+
+// recordEval adapts a materialized record to scan.Evaluator for the
+// capability-free fold.
+type recordEval struct {
+	rec serde.Record
+}
+
+// Value implements scan.Evaluator.
+func (e recordEval) Value(col string) (any, error) { return e.rec.Get(col) }
+
+// HasKey implements scan.Evaluator: never answered — the fold reads values.
+func (e recordEval) HasKey(string, string) (bool, bool, error) { return false, false, nil }
 
 // emitInto returns the Emit closure appending map-output pairs to out's
 // partitions with the standard shuffle accounting. Solo map tasks and each

@@ -1,0 +1,184 @@
+package scan_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"colmr/internal/scan"
+)
+
+// Fold-site equivalence under nulls. FoldBatch (the vectorized site),
+// FoldRecord (the scalar site), and Merge (the task-combine site) must
+// agree exactly on random data with null rows in every column — including
+// null group keys, entirely-null columns, and empty selections.
+
+// aggTestData builds random column vectors with nulls: "g" a
+// low-cardinality string key, "a" int64, "b" float64, "s" string.
+func aggTestData(rng *rand.Rand, n int) map[string]*scan.Vector {
+	card := 1 + rng.Intn(5)
+	nullP := func() bool { return rng.Intn(5) == 0 }
+	g := scan.NewVector(scan.VecString, n)
+	a := scan.NewVector(scan.VecInt64, n)
+	b := scan.NewVector(scan.VecFloat64, n)
+	s := scan.NewVector(scan.VecString, n)
+	allNullB := rng.Intn(6) == 0 // sometimes a column is entirely null
+	for i := 0; i < n; i++ {
+		if nullP() {
+			g.AppendNull()
+		} else {
+			g.AppendString(fmt.Sprintf("grp%d", rng.Intn(card)))
+		}
+		if nullP() {
+			a.AppendNull()
+		} else {
+			a.AppendInt(rng.Int63n(1000))
+		}
+		if allNullB || nullP() {
+			b.AppendNull()
+		} else {
+			b.AppendFloat(float64(rng.Intn(500)) / 7)
+		}
+		s.AppendString(fmt.Sprintf("v%02d", rng.Intn(30)))
+	}
+	return map[string]*scan.Vector{"g": g, "a": a, "b": b, "s": s}
+}
+
+func aggTestSpec(t *testing.T, rng *rand.Rand) *scan.Aggregate {
+	t.Helper()
+	pool := []string{
+		"count", "count(a)", "count(b)", "count(g)",
+		"min(a)", "max(a)", "sum(a)",
+		"min(s)", "max(s)", "min(g)", "sum(b)", "max(b)",
+	}
+	k := 1 + rng.Intn(4)
+	picked := make([]string, 0, k)
+	for _, i := range rng.Perm(len(pool))[:k] {
+		picked = append(picked, pool[i])
+	}
+	src := strings.Join(picked, ",")
+	if rng.Intn(2) == 0 {
+		src += " group by g"
+	}
+	a, err := scan.ParseAggregate(src)
+	if err != nil {
+		t.Fatalf("ParseAggregate(%q): %v", src, err)
+	}
+	return a
+}
+
+// rowEval adapts one vector row to the scalar Evaluator.
+func rowEval(vecs map[string]*scan.Vector, i int) scan.Evaluator {
+	return scan.Getter(func(col string) (any, error) {
+		v, ok := vecs[col]
+		if !ok {
+			return nil, fmt.Errorf("no column %q", col)
+		}
+		if v.IsNull(i) {
+			return nil, nil
+		}
+		return v.Value(i), nil
+	})
+}
+
+func sameAggRows(a, b []scan.AggRow) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	eq := func(x, y any) bool {
+		if x == nil || y == nil {
+			return x == nil && y == nil
+		}
+		// Partial-state merges reassociate float sums; everything else is
+		// exact.
+		if xf, ok := x.(float64); ok {
+			yf, ok := y.(float64)
+			if !ok {
+				return false
+			}
+			diff := xf - yf
+			if diff < 0 {
+				diff = -diff
+			}
+			scale := 1.0
+			if xf > scale || xf < -scale {
+				scale = xf
+				if scale < 0 {
+					scale = -scale
+				}
+			}
+			return diff <= 1e-9*scale
+		}
+		c, ok := scan.CompareValues(x, y)
+		return ok && c == 0
+	}
+	for i := range a {
+		if !eq(a[i].Group, b[i].Group) || len(a[i].Values) != len(b[i].Values) {
+			return false
+		}
+		for j := range a[i].Values {
+			if !eq(a[i].Values[j], b[i].Values[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestAggFoldBatchMatchesFoldRecordWithNulls(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(900 + trial)))
+		n := 1 + rng.Intn(300)
+		vecs := aggTestData(rng, n)
+		src := &vecTestSource{vecs: vecs}
+		agg := aggTestSpec(t, rng)
+
+		// A random selection — sometimes empty, sometimes full.
+		sel := scan.NewEmptySelection(n)
+		keepP := rng.Intn(5)
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) >= keepP {
+				sel.Set(i)
+			}
+		}
+
+		batch := scan.NewAggState(agg)
+		if _, err := batch.FoldBatch(sel, src); err != nil {
+			t.Fatalf("trial %d agg=%s: FoldBatch: %v", trial, agg, err)
+		}
+		scalar := scan.NewAggState(agg)
+		for i := sel.Next(0); i >= 0; i = sel.Next(i + 1) {
+			if err := scalar.FoldRecord(rowEval(vecs, i)); err != nil {
+				t.Fatalf("trial %d agg=%s: FoldRecord(%d): %v", trial, agg, i, err)
+			}
+		}
+		if !sameAggRows(batch.Rows(), scalar.Rows()) {
+			t.Fatalf("trial %d agg=%s: fold sites disagree\nbatch  %v\nscalar %v",
+				trial, agg, batch.Rows(), scalar.Rows())
+		}
+
+		// Merge associativity: the same rows folded into k partial states
+		// and merged must equal the single-state fold, whatever the split.
+		parts := 1 + rng.Intn(3)
+		states := make([]*scan.AggState, parts)
+		for p := range states {
+			states[p] = scan.NewAggState(agg)
+		}
+		for i := sel.Next(0); i >= 0; i = sel.Next(i + 1) {
+			if err := states[rng.Intn(parts)].FoldRecord(rowEval(vecs, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		merged := scan.NewAggState(agg)
+		for _, st := range states {
+			if err := merged.Merge(st); err != nil {
+				t.Fatalf("trial %d agg=%s: Merge: %v", trial, agg, err)
+			}
+		}
+		if !sameAggRows(merged.Rows(), scalar.Rows()) {
+			t.Fatalf("trial %d agg=%s: merged state disagrees\nmerged %v\nscalar %v",
+				trial, agg, merged.Rows(), scalar.Rows())
+		}
+	}
+}

@@ -42,6 +42,11 @@ type Spec struct {
 	// overriding the input format's own setting when non-zero
 	// (core.AutoDirsPerSplit sizes tasks from estimated selectivity).
 	DirsPerSplit int
+	// Agg, when set, turns the scan into an aggregation: the functions are
+	// answered inside the scan — from zone stats or decoded vectors — and
+	// no records reach the map function. The job's Result carries the
+	// aggregate rows instead.
+	Agg *Aggregate
 }
 
 // Elide reports whether scheduler-tier split elision is enabled.
@@ -61,6 +66,7 @@ func (s *Spec) Clone() *Spec {
 	}
 	out := *s
 	out.Columns = append([]string(nil), s.Columns...)
+	out.Agg = s.Agg.Clone()
 	return &out
 }
 
@@ -83,6 +89,9 @@ func (s *Spec) Equal(o *Spec) bool {
 		return false
 	}
 	if s.Predicate != nil && s.Predicate.String() != o.Predicate.String() {
+		return false
+	}
+	if !s.Agg.Equal(o.Agg) {
 		return false
 	}
 	return s.Lazy == o.Lazy && s.NoElide == o.NoElide && s.NoBloom == o.NoBloom &&
@@ -205,4 +214,32 @@ func SetVectorize(conf Conf, on bool) {
 // execution (the default).
 func VectorizeFromConf(conf Conf) bool {
 	return conf.Get(VectorizeProp) != "false"
+}
+
+// AggProp is the job property carrying the serialized aggregate spec (the
+// ParseAggregate form) — the legacy side channel for string-typed inputs
+// such as `colscan -agg`, consulted only when the typed Spec carries no
+// aggregation of its own.
+const AggProp = "scan.agg"
+
+// SetAggregate pushes an aggregation into the scan for a job — the
+// compatibility wrapper over Spec.Agg. New code should prefer the builder
+// (core.ScanDataset(...).Aggregate(...)).
+func SetAggregate(conf Conf, a *Aggregate) {
+	conf.ScanSpec().Agg = a
+	conf.Del(AggProp)
+}
+
+// AggFromConf reads a conf's serialized aggregate prop, or nil when none
+// is set.
+func AggFromConf(conf Conf) (*Aggregate, error) {
+	src := conf.Get(AggProp)
+	if src == "" {
+		return nil, nil
+	}
+	a, err := ParseAggregate(src)
+	if err != nil {
+		return nil, fmt.Errorf("scan: invalid %s: %w", AggProp, err)
+	}
+	return a, nil
 }

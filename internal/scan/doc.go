@@ -39,6 +39,17 @@
 // colscan -where flag; the typed Spec on mapred.JobConf.Scan is the
 // first-class form (see conf.go).
 //
+// Aggregate carries the other pushdown (agg.go, docs/AGGREGATION.md): a
+// parsed function list (count/count(col)/min/max/sum, optional GROUP BY)
+// whose AggState folds rows at whichever site the readers find cheapest —
+// whole record groups from ColStats alone (StatsAnswerable/FoldStats),
+// batch survivors from a Selection and its Vectors (FoldBatch), or single
+// records (FoldRecord) — with Merge combining per-task partial states.
+// All sites and any merge order produce identical rows (agg_test.go). For
+// equality predicates on dictionary-encoded string columns, IDVector
+// (idvec.go) lets VecEval compare window-local dictionary ids instead of
+// decoded strings.
+//
 // Roles in the scheduler→file→group→value pipeline: Planner is the single
 // pruning implementation every consumer drives — the split scheduler's
 // elision tier (core.InputFormat.PlannedSplits), the reader's file tier,

@@ -164,6 +164,34 @@ func (p *Planner) PruneGroup(rec, total int64, group GroupStatsFunc) (tri Tri, e
 	return MayMatch, minEnd, false
 }
 
+// MatchAllGroup decides whether every record in [rec, end) satisfies the
+// predicate from zone statistics alone — the aggregate drain's shortcut
+// tier (a region proven all-matching folds into aggregates straight from
+// the zone map, decoding nothing). Like PruneGroup the verdict is scoped
+// to the narrowest group consulted: the returned end is the smallest
+// extent bound, and [rec, end) lies inside every consulted group. A nil
+// planner or predicate matches everything (end = total).
+func (p *Planner) MatchAllGroup(rec, total int64, group GroupStatsFunc) (all bool, end int64) {
+	if p == nil || p.pred == nil {
+		return true, total
+	}
+	minEnd := total
+	fn := func(col string) *ColStats {
+		st, end := group(col, rec)
+		if st == nil {
+			return nil
+		}
+		if end < minEnd {
+			minEnd = end
+		}
+		return st
+	}
+	if p.pred.MatchAll(p.statsView(fn)) && minEnd > rec {
+		return true, minEnd
+	}
+	return false, minEnd
+}
+
 // PruneReport summarizes the scheduler tier's decisions for one job: how
 // many split-directories existed, how many were dropped before any map
 // task was created, and how many column-file footers were consulted to

@@ -1,0 +1,60 @@
+package scan
+
+import "sync"
+
+// Selection pooling. Vectorized evaluation churns through short-lived
+// bitmaps — one result per predicate node per batch — and the batch
+// executors allocate one candidate selection per batch. Recycling them
+// through a sync.Pool keeps the steady-state scan loop allocation-free,
+// the same discipline vec.Pool applies to vector arenas.
+//
+// Ownership: VecEval results are owned by the caller; whoever drops the
+// last reference may PutSelection it. Selections handed to a cache or
+// retained beyond the batch must not be recycled. Internal temporaries
+// (the narrowing chain in AND, the remainder in OR) are recycled by
+// VecEval itself.
+
+var selPool = sync.Pool{New: func() any { return new(Selection) }}
+
+// GetEmptySelection returns a selection of n rows, none selected, reusing
+// pooled storage when available.
+func GetEmptySelection(n int) *Selection {
+	s := selPool.Get().(*Selection)
+	words := (n + 63) / 64
+	if cap(s.words) < words {
+		s.words = make([]uint64, words)
+	} else {
+		s.words = s.words[:words]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.n = n
+	return s
+}
+
+// GetFullSelection returns a selection of n rows, all selected, reusing
+// pooled storage when available.
+func GetFullSelection(n int) *Selection {
+	s := GetEmptySelection(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+	return s
+}
+
+// PutSelection returns a selection to the pool. The caller must hold the
+// only reference.
+func PutSelection(s *Selection) {
+	if s != nil {
+		selPool.Put(s)
+	}
+}
+
+// cloneFromPool is Clone backed by the pool.
+func (s *Selection) cloneFromPool() *Selection {
+	out := GetEmptySelection(s.n)
+	copy(out.words, s.words)
+	return out
+}

@@ -1,0 +1,93 @@
+package scan_test
+
+// Pooling guards: the vectorized scan loop recycles Selection bitmaps
+// through the package pool and AggState keeps its fold scratch across
+// batches, so the steady state allocates nothing per batch. These tests
+// pin that down with testing.AllocsPerRun — a regression here silently
+// turns every batch into garbage-collector work.
+
+import (
+	"testing"
+
+	"colmr/internal/scan"
+)
+
+func TestAggSelectionPoolAllocationFree(t *testing.T) {
+	const n = 4096
+	// Warm the pool so the measured loop only recycles.
+	for i := 0; i < 8; i++ {
+		scan.PutSelection(scan.GetFullSelection(n))
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		s := scan.GetFullSelection(n)
+		if s.Count() != n {
+			t.Fatal("full selection lost rows")
+		}
+		scan.PutSelection(s)
+	})
+	if allocs > 0 {
+		t.Errorf("get/put selection cycle allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestAggFoldBatchAllocationFree(t *testing.T) {
+	const n = 4096
+	ints := scan.NewVector(scan.VecInt64, n)
+	for i := 0; i < n; i++ {
+		ints.AppendInt(int64(i))
+	}
+	src := &vecTestSource{vecs: map[string]*scan.Vector{"x": ints}}
+	agg, err := scan.ParseAggregate("count,count(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := scan.NewAggState(agg)
+	sel := scan.GetFullSelection(n)
+	defer scan.PutSelection(sel)
+	// First fold creates the global group and the vector scratch.
+	if _, err := st.FoldBatch(sel, src); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := st.FoldBatch(sel, src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state FoldBatch allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestAggVecEvalAllocationFree(t *testing.T) {
+	const n = 4096
+	ints := scan.NewVector(scan.VecInt64, n)
+	for i := 0; i < n; i++ {
+		ints.AppendInt(int64(i % 97))
+	}
+	src := &vecTestSource{vecs: map[string]*scan.Vector{"x": ints}}
+	pred := scan.Le("x", int64(40))
+	// Warm the selection pool with the shapes the loop uses.
+	for i := 0; i < 8; i++ {
+		in := scan.GetFullSelection(n)
+		out, err := pred.VecEval(src, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan.PutSelection(in)
+		scan.PutSelection(out)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		in := scan.GetFullSelection(n)
+		out, err := pred.VecEval(src, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan.PutSelection(in)
+		scan.PutSelection(out)
+	})
+	// One allocation per batch is the comparator closure vecComparer builds;
+	// everything per-row must come from the pool.
+	if allocs > 1 {
+		t.Errorf("steady-state VecEval allocates %.1f objects per run, want <= 1", allocs)
+	}
+}

@@ -115,9 +115,28 @@ func vecComparer(v *Vector, lit any) func(i int) int {
 
 // VecEval implements Predicate.
 func (p *cmpPred) VecEval(src VecSource, in *Selection) (*Selection, error) {
-	out := NewEmptySelection(in.Len())
+	out := GetEmptySelection(in.Len())
 	if in.Empty() {
 		return out, nil
+	}
+	// Equality and inequality against a string literal try the
+	// dictionary-id space first: on DCSL columns the batch's ids decode
+	// without the strings, the needle resolves once per window, and the
+	// row loop compares integers (scan/idvec.go).
+	if p.op == OpEq || p.op == OpNe {
+		if needle, isStr := litAsString(p.lit); isStr {
+			if ids, ok := src.(IDSource); ok {
+				iv, err := ids.IDVec(p.col)
+				if err != nil {
+					PutSelection(out)
+					return nil, err
+				}
+				if iv != nil {
+					PutSelection(out)
+					return p.vecEvalIDs(src, iv, in, needle), nil
+				}
+			}
+		}
 	}
 	v, err := src.ColVec(p.col)
 	if err != nil {
@@ -151,7 +170,7 @@ func (p *cmpPred) VecEval(src VecSource, in *Selection) (*Selection, error) {
 
 // VecEval implements Predicate.
 func (p *rangePred) VecEval(src VecSource, in *Selection) (*Selection, error) {
-	out := NewEmptySelection(in.Len())
+	out := GetEmptySelection(in.Len())
 	if in.Empty() {
 		return out, nil
 	}
@@ -188,7 +207,7 @@ func (p *rangePred) VecEval(src VecSource, in *Selection) (*Selection, error) {
 
 // VecEval implements Predicate.
 func (p *prefixPred) VecEval(src VecSource, in *Selection) (*Selection, error) {
-	out := NewEmptySelection(in.Len())
+	out := GetEmptySelection(in.Len())
 	if in.Empty() {
 		return out, nil
 	}
@@ -232,7 +251,24 @@ func (p *prefixPred) VecEval(src VecSource, in *Selection) (*Selection, error) {
 // VecEval implements Predicate.
 func (p *nullPred) VecEval(src VecSource, in *Selection) (*Selection, error) {
 	if in.Empty() {
-		return NewEmptySelection(in.Len()), nil
+		return GetEmptySelection(in.Len()), nil
+	}
+	// A dictionary-encoded column answers nullness from its id vector's
+	// null bitmap — no value bytes decoded.
+	if ids, ok := src.(IDSource); ok {
+		iv, err := ids.IDVec(p.col)
+		if err != nil {
+			return nil, err
+		}
+		if iv != nil {
+			out := GetEmptySelection(in.Len())
+			for i := in.Next(0); i >= 0; i = in.Next(i + 1) {
+				if iv.IsNull(i) != p.negate {
+					out.Set(i)
+				}
+			}
+			return out, nil
+		}
 	}
 	v, err := src.ColVec(p.col)
 	if err != nil {
@@ -241,7 +277,7 @@ func (p *nullPred) VecEval(src VecSource, in *Selection) (*Selection, error) {
 	if v.Kind == VecAny {
 		// Boxed rows represent SQL NULL as a nil value, like the scalar
 		// path, whether or not the validity bitmap tags them.
-		out := NewEmptySelection(in.Len())
+		out := GetEmptySelection(in.Len())
 		for i := in.Next(0); i >= 0; i = in.Next(i + 1) {
 			if (v.IsNull(i) || v.Anys[i] == nil) != p.negate {
 				out.Set(i)
@@ -251,11 +287,11 @@ func (p *nullPred) VecEval(src VecSource, in *Selection) (*Selection, error) {
 	}
 	if !v.HasNulls() {
 		if p.negate {
-			return in.Clone(), nil
+			return in.cloneFromPool(), nil
 		}
-		return NewEmptySelection(in.Len()), nil
+		return GetEmptySelection(in.Len()), nil
 	}
-	out := NewEmptySelection(in.Len())
+	out := GetEmptySelection(in.Len())
 	for i := in.Next(0); i >= 0; i = in.Next(i + 1) {
 		if v.IsNull(i) != p.negate {
 			out.Set(i)
@@ -267,7 +303,7 @@ func (p *nullPred) VecEval(src VecSource, in *Selection) (*Selection, error) {
 // VecEval implements Predicate.
 func (p *keyPred) VecEval(src VecSource, in *Selection) (*Selection, error) {
 	if in.Empty() {
-		return NewEmptySelection(in.Len()), nil
+		return GetEmptySelection(in.Len()), nil
 	}
 	if res, answered, err := src.KeyVec(p.col, p.key, in); err != nil {
 		return nil, err
@@ -278,7 +314,7 @@ func (p *keyPred) VecEval(src VecSource, in *Selection) (*Selection, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := NewEmptySelection(in.Len())
+	out := GetEmptySelection(in.Len())
 	for i := in.Next(0); i >= 0; i = in.Next(i + 1) {
 		if v.IsNull(i) {
 			continue
@@ -311,12 +347,18 @@ func (p *andPred) VecEval(src VecSource, in *Selection) (*Selection, error) {
 		}
 		res, err := k.VecEval(src, cur)
 		if err != nil {
+			if cur != in {
+				PutSelection(cur)
+			}
 			return nil, err
+		}
+		if cur != in {
+			PutSelection(cur)
 		}
 		cur = res
 	}
 	if cur == in {
-		cur = in.Clone()
+		cur = in.cloneFromPool()
 	}
 	return cur, nil
 }
@@ -325,19 +367,23 @@ func (p *andPred) VecEval(src VecSource, in *Selection) (*Selection, error) {
 // children left undecided — child k+1 evaluates only where children 1..k
 // were all false, exactly the rows the scalar || order would reach it on.
 func (p *orPred) VecEval(src VecSource, in *Selection) (*Selection, error) {
-	out := NewEmptySelection(in.Len())
-	rem := in.Clone()
+	out := GetEmptySelection(in.Len())
+	rem := in.cloneFromPool()
 	for _, k := range p.kids {
 		if rem.Empty() {
 			break
 		}
 		res, err := k.VecEval(src, rem)
 		if err != nil {
+			PutSelection(rem)
+			PutSelection(out)
 			return nil, err
 		}
 		out.Or(res)
 		rem.AndNot(res)
+		PutSelection(res)
 	}
+	PutSelection(rem)
 	return out, nil
 }
 
@@ -348,8 +394,9 @@ func (p *notPred) VecEval(src VecSource, in *Selection) (*Selection, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := in.Clone()
+	out := in.cloneFromPool()
 	out.AndNot(res)
+	PutSelection(res)
 	return out, nil
 }
 
@@ -424,6 +471,67 @@ func ProbeOnlyColumns(ps ...Predicate) []string {
 		}
 	}
 	return out
+}
+
+// IDOnlyColumns returns the columns whose every use across the given
+// predicates is answerable in dictionary-id space: equality or inequality
+// against a string-ish literal, and null tests (the id vector carries the
+// null bitmap). Decoding a column's id vector consumes its stream for the
+// batch without producing values, so the capability is safe only when no
+// evaluation site will ask the same cursor for values — any range, prefix,
+// non-string comparison, or key probe on the column, in any of the
+// predicates sharing the cursor set, disqualifies it, and the caller must
+// additionally exclude projected and aggregated columns. Nil predicates
+// are ignored.
+func IDOnlyColumns(ps ...Predicate) []string {
+	idu := map[string]int{}
+	other := map[string]int{}
+	var cols []string
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		cols = p.Columns(cols)
+		countIDUses(p, idu, other)
+	}
+	var out []string
+	for _, col := range cols {
+		if idu[col] >= 1 && other[col] == 0 {
+			out = append(out, col)
+		}
+	}
+	return out
+}
+
+func countIDUses(p Predicate, idu, other map[string]int) {
+	switch q := p.(type) {
+	case *cmpPred:
+		if q.op == OpEq || q.op == OpNe {
+			if _, ok := litAsString(q.lit); ok {
+				idu[q.col]++
+				return
+			}
+		}
+		other[q.col]++
+	case *rangePred:
+		other[q.col]++
+	case *prefixPred:
+		other[q.col]++
+	case *nullPred:
+		idu[q.col]++
+	case *keyPred:
+		other[q.col]++
+	case *andPred:
+		for _, k := range q.kids {
+			countIDUses(k, idu, other)
+		}
+	case *orPred:
+		for _, k := range q.kids {
+			countIDUses(k, idu, other)
+		}
+	case *notPred:
+		countIDUses(q.kid, idu, other)
+	}
 }
 
 func countColumnUses(p Predicate, key, val map[string]int) {

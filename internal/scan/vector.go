@@ -129,6 +129,14 @@ func (v *Vector) AppendBytes(b []byte) {
 	v.n++
 }
 
+// AppendString appends a string row into the arena without an intermediate
+// []byte allocation.
+func (v *Vector) AppendString(s string) {
+	v.Data = append(v.Data, s...)
+	v.Offs = append(v.Offs, int32(len(v.Data)))
+	v.n++
+}
+
 // AppendAny appends a boxed row.
 func (v *Vector) AppendAny(x any) {
 	v.Anys = append(v.Anys, x)

@@ -40,18 +40,36 @@ type QueryRequest struct {
 	Columns []string `json:"columns,omitempty"`
 	Where   string   `json:"where,omitempty"`
 	Lazy    bool     `json:"lazy,omitempty"`
+	// Agg pushes an aggregation into the scan — the `colscan -agg` form,
+	// e.g. "count,min(int0) group by str0". The response carries the
+	// aggregate rows instead of records; Limit and Columns do not apply.
+	Agg string `json:"agg,omitempty"`
 	// Limit asks for up to this many matching rows in the response;
 	// 0 returns counts and statistics only.
 	Limit int `json:"limit,omitempty"`
 }
 
-// QueryStats carries the query's solo-exact logical pruning counters.
+// QueryStats carries the query's solo-exact logical pruning counters, plus
+// the aggregation-path counters for agg queries.
 type QueryStats struct {
 	SplitsPruned    int64 `json:"splitsPruned"`
 	GroupsPruned    int64 `json:"groupsPruned"`
 	BloomPruned     int64 `json:"bloomPruned"`
 	RecordsPruned   int64 `json:"recordsPruned"`
 	RecordsFiltered int64 `json:"recordsFiltered"`
+	// Aggregation-path counters (zero for record queries): rows folded into
+	// the aggregate, record groups answered from zone statistics alone, and
+	// string comparisons replaced by dictionary-id comparisons.
+	RowsAggregated    int64 `json:"rowsAggregated,omitempty"`
+	AggGroupsShortcut int64 `json:"aggGroupsShortcut,omitempty"`
+	DictIdCompares    int64 `json:"dictIdCompares,omitempty"`
+}
+
+// AggregateRow renders one aggregate output row: the group value ("" for
+// the global group) and one rendered value per requested function.
+type AggregateRow struct {
+	Group  string   `json:"group,omitempty"`
+	Values []string `json:"values"`
 }
 
 // QueryResponse is the POST /query reply.
@@ -63,8 +81,12 @@ type QueryResponse struct {
 	// Rows holds up to Limit matching rows, rendered column->value. Which
 	// rows is unspecified (map tasks race to fill the budget); the slice
 	// is sorted for stable presentation.
-	Rows  []map[string]string `json:"rows,omitempty"`
-	Stats QueryStats          `json:"stats"`
+	Rows []map[string]string `json:"rows,omitempty"`
+	// Agg holds the aggregate rows for agg queries, with Funcs labeling
+	// each value column (the parsed function list, in order).
+	Agg   []AggregateRow `json:"agg,omitempty"`
+	Funcs []string       `json:"funcs,omitempty"`
+	Stats QueryStats     `json:"stats"`
 	// Serve is the serving-side account: batch membership, window wait,
 	// modeled run time, attributed charged bytes and sharing savings.
 	Serve Report `json:"serve"`
@@ -203,14 +225,30 @@ func (h *httpHandler) query(w http.ResponseWriter, r *http.Request) {
 		}
 		b = b.Where(pred)
 	}
-	collector := &rowCollector{limit: limit}
-	job := b.Job(mapred.MapperFunc(func(_, v any, _ mapred.Emit) error {
-		rec, ok := v.(serde.Record)
-		if !ok {
-			return fmt.Errorf("serve: map input is %T, not a record", v)
+	var job *mapred.Job
+	var agg *scan.Aggregate
+	var collector *rowCollector
+	if req.Agg != "" {
+		var err error
+		if agg, err = scan.ParseAggregate(req.Agg); err != nil {
+			writeError(w, http.StatusBadRequest, "bad agg: %v", err)
+			return
 		}
-		return collector.add(rec, req.Columns)
-	}))
+		if req.Limit > 0 || len(req.Columns) > 0 {
+			writeError(w, http.StatusBadRequest, "agg queries return aggregate rows; columns and limit do not apply")
+			return
+		}
+		job = b.Aggregate(agg).AggJob()
+	} else {
+		collector = &rowCollector{limit: limit}
+		job = b.Job(mapred.MapperFunc(func(_, v any, _ mapred.Emit) error {
+			rec, ok := v.(serde.Record)
+			if !ok {
+				return fmt.Errorf("serve: map input is %T, not a record", v)
+			}
+			return collector.add(rec, req.Columns)
+		}))
+	}
 
 	ticket, err := h.srv.Enqueue(tenant, job)
 	if err != nil {
@@ -227,21 +265,42 @@ func (h *httpHandler) query(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	writeJSON(w, http.StatusOK, QueryResponse{
+	resp := QueryResponse{
 		Tenant:  tenant,
 		Dataset: name,
 		Where:   req.Where,
 		Matched: res.Total.RecordsProcessed,
-		Rows:    collector.sorted(),
 		Stats: QueryStats{
-			SplitsPruned:    res.Total.SplitsPruned,
-			GroupsPruned:    res.Total.GroupsPruned,
-			BloomPruned:     res.Total.BloomPruned,
-			RecordsPruned:   res.Total.RecordsPruned,
-			RecordsFiltered: res.Total.RecordsFiltered,
+			SplitsPruned:      res.Total.SplitsPruned,
+			GroupsPruned:      res.Total.GroupsPruned,
+			BloomPruned:       res.Total.BloomPruned,
+			RecordsPruned:     res.Total.RecordsPruned,
+			RecordsFiltered:   res.Total.RecordsFiltered,
+			RowsAggregated:    res.Total.RowsAggregated,
+			AggGroupsShortcut: res.Total.AggGroupsShortcut,
+			DictIdCompares:    res.Total.DictIdCompares,
 		},
 		Serve: ticket.Report(),
-	})
+	}
+	if agg != nil {
+		resp.Matched = res.Total.RowsAggregated
+		for _, f := range agg.Funcs {
+			resp.Funcs = append(resp.Funcs, f.String())
+		}
+		for _, row := range res.Agg.Rows() {
+			ar := AggregateRow{Values: make([]string, len(row.Values))}
+			if row.Group != nil {
+				ar.Group = fmt.Sprintf("%v", row.Group)
+			}
+			for i, v := range row.Values {
+				ar.Values[i] = fmt.Sprintf("%v", v)
+			}
+			resp.Agg = append(resp.Agg, ar)
+		}
+	} else {
+		resp.Rows = collector.sorted()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (h *httpHandler) stats(w http.ResponseWriter, r *http.Request) {

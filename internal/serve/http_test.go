@@ -99,6 +99,62 @@ func TestHTTPServeQuery(t *testing.T) {
 	}
 }
 
+func TestHTTPServeAggQuery(t *testing.T) {
+	srv, ts := svHTTP(t)
+	defer srv.Close()
+
+	resp, body := svPost(t, ts, serve.QueryRequest{
+		Tenant: "web",
+		Where:  `t <= 50`,
+		Agg:    "count,min(t),max(s)",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr serve.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	if qr.Matched != 51 {
+		t.Errorf("matched %d, want 51 rows aggregated", qr.Matched)
+	}
+	if len(qr.Rows) != 0 {
+		t.Errorf("agg query returned %d record rows, want none", len(qr.Rows))
+	}
+	wantFuncs := []string{"count", "min(t)", "max(s)"}
+	if fmt.Sprintf("%v", qr.Funcs) != fmt.Sprintf("%v", wantFuncs) {
+		t.Errorf("funcs %v, want %v", qr.Funcs, wantFuncs)
+	}
+	if len(qr.Agg) != 1 {
+		t.Fatalf("agg rows %v, want a single global row", qr.Agg)
+	}
+	got := qr.Agg[0]
+	if got.Group != "" {
+		t.Errorf("global group rendered %q, want empty", got.Group)
+	}
+	want := []string{"51", "0", "s050"}
+	if fmt.Sprintf("%v", got.Values) != fmt.Sprintf("%v", want) {
+		t.Errorf("agg values %v, want %v", got.Values, want)
+	}
+	if qr.Stats.RowsAggregated != 51 {
+		t.Errorf("stats rowsAggregated %d, want 51", qr.Stats.RowsAggregated)
+	}
+
+	// Agg with limit or columns is a client error, as is a malformed agg.
+	resp, _ = svPost(t, ts, serve.QueryRequest{Agg: "count", Limit: 3})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("agg+limit: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = svPost(t, ts, serve.QueryRequest{Agg: "count", Columns: []string{"s"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("agg+columns: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = svPost(t, ts, serve.QueryRequest{Agg: "median(t)"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad agg: status %d, want 400", resp.StatusCode)
+	}
+}
+
 func TestHTTPServeErrors(t *testing.T) {
 	srv, ts := svHTTP(t)
 

@@ -44,6 +44,18 @@ type CostModel struct {
 	// (selection-bitmap allocation, batch setup, goroutine handoff).
 	VecBatchCost float64
 
+	// AggRowCost is seconds per row folded into aggregate state (counter
+	// bumps and min/max compares over already-decoded storage — on the
+	// order of the vectorized per-value loop, far below record churn).
+	AggRowCost float64
+	// AggGroupCost is seconds per record group an aggregation answered from
+	// zone statistics alone (a handful of arithmetic ops over stats already
+	// resident for pruning).
+	AggGroupCost float64
+	// DictIdCompareCost is seconds per dictionary-id comparison (an integer
+	// compare in a tight loop, replacing a string materialize-and-compare).
+	DictIdCompareCost float64
+
 	// RecordCost is seconds per record object materialized.
 	RecordCost float64
 	// ValueCost is seconds per field value materialized into an object.
@@ -99,6 +111,10 @@ func DefaultModelFor(c ClusterConfig) CostModel {
 		VecValueCost: 0.001e-6,
 		VecBatchCost: 2e-6,
 
+		AggRowCost:        0.0012e-6,
+		AggGroupCost:      0.2e-6,
+		DictIdCompareCost: 0.0008e-6,
+
 		RecordCost: 0.05e-6,
 		ValueCost:  0.01e-6,
 		EmitCost:   0.5e-6,
@@ -134,6 +150,17 @@ func (m CostModel) CPUSeconds(c CPUStats) float64 {
 // CPUSeconds through VecBytes/VecValues.
 func (m CostModel) VecSeconds(t TaskStats) float64 {
 	return float64(t.VecBatches) * m.VecBatchCost
+}
+
+// AggSeconds prices aggregation-pushdown work: the per-row fold loop, the
+// zone-stats group shortcut, and dictionary-id comparisons. All three
+// replace strictly more expensive counters (record materialization, value
+// decode, string compares), which is where the pushdown's modeled win
+// comes from.
+func (m CostModel) AggSeconds(t TaskStats) float64 {
+	return float64(t.RowsAggregated)*m.AggRowCost +
+		float64(t.AggGroupsShortcut)*m.AggGroupCost +
+		float64(t.DictIdCompares)*m.DictIdCompareCost
 }
 
 // ViewCPUSeconds prices decode work using the view (C++-analogue) rates.
@@ -185,7 +212,7 @@ func (m CostModel) MapTaskSeconds(t TaskStats) float64 {
 	io := m.IOSeconds(t.IO, m.Cluster.PerSlotDiskBandwidth(), m.Cluster.PerSlotNetBandwidth())
 	cpu := m.CPUSeconds(t.CPU)
 	emit := float64(t.OutputRecords) * m.EmitCost
-	return io + cpu + emit + m.VecSeconds(t)
+	return io + cpu + emit + m.VecSeconds(t) + m.AggSeconds(t)
 }
 
 // ScanSeconds prices a single-threaded scan on an otherwise idle node
@@ -194,7 +221,7 @@ func (m CostModel) MapTaskSeconds(t TaskStats) float64 {
 func (m CostModel) ScanSeconds(t TaskStats) float64 {
 	io := m.IOSeconds(t.IO, m.Cluster.DiskBandwidth, m.Cluster.NetBandwidth)
 	cpu := m.CPUSeconds(t.CPU)
-	return io + cpu + m.VecSeconds(t)
+	return io + cpu + m.VecSeconds(t) + m.AggSeconds(t)
 }
 
 // MapTime prices the paper's "map time" metric: the total time consumed by

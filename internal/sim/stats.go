@@ -216,6 +216,23 @@ type TaskStats struct {
 	// bytes charge neither I/O nor decode CPU).
 	VecCacheHits      int64
 	DecodeSavedValues int64
+	// AggBatches is the number of vector batches an aggregation pushdown
+	// folded straight from selection bitmaps and column vectors;
+	// RowsAggregated is the rows folded into aggregate state at any fold
+	// site (batch, stats shortcut, or scalar) — none of them ever became a
+	// record object.
+	AggBatches     int64
+	RowsAggregated int64
+	// AggGroupsShortcut is the number of record groups an aggregation
+	// answered from zone statistics alone: the zone map proved every row
+	// matches and every function was stats-answerable, so the group
+	// contributed to the aggregate with zero value bytes decoded.
+	AggGroupsShortcut int64
+	// DictIdCompares is the number of dictionary-id comparisons performed in
+	// place of string equality on dictionary-encoded columns: the needle is
+	// resolved to its window id once and rows compare as integers, never
+	// materializing the strings.
+	DictIdCompares int64
 }
 
 // Add accumulates o into s.
@@ -239,6 +256,10 @@ func (s *TaskStats) Add(o TaskStats) {
 	s.RowsVectorized += o.RowsVectorized
 	s.VecCacheHits += o.VecCacheHits
 	s.DecodeSavedValues += o.DecodeSavedValues
+	s.AggBatches += o.AggBatches
+	s.RowsAggregated += o.RowsAggregated
+	s.AggGroupsShortcut += o.AggGroupsShortcut
+	s.DictIdCompares += o.DictIdCompares
 }
 
 // Scale multiplies every counter by k.
@@ -262,6 +283,10 @@ func (s *TaskStats) Scale(k float64) {
 	s.RowsVectorized = scaleInt(s.RowsVectorized, k)
 	s.VecCacheHits = scaleInt(s.VecCacheHits, k)
 	s.DecodeSavedValues = scaleInt(s.DecodeSavedValues, k)
+	s.AggBatches = scaleInt(s.AggBatches, k)
+	s.RowsAggregated = scaleInt(s.RowsAggregated, k)
+	s.AggGroupsShortcut = scaleInt(s.AggGroupsShortcut, k)
+	s.DictIdCompares = scaleInt(s.DictIdCompares, k)
 }
 
 func scaleInt(v int64, k float64) int64 {

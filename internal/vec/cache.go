@@ -27,12 +27,17 @@ type Key struct {
 	Path  string
 	Gen   int64
 	Start int64
+	// ID distinguishes a column's dictionary-id vector from its value
+	// vector over the same records — both may be resident at once, and a
+	// scan asking for one must never be handed the other.
+	ID bool
 }
 
 type entry struct {
 	key  Key
 	end  int64
 	v    *scan.Vector
+	iv   *scan.IDVector
 	size int64
 }
 
@@ -91,23 +96,61 @@ func (c *Cache) Add(key Key, end int64, v *scan.Vector) bool {
 	if c == nil || v == nil {
 		return false
 	}
-	size := v.MemBytes()
-	if size <= 0 {
-		size = 1
+	return c.admit(&entry{key: key, end: end, v: v, size: v.MemBytes()})
+}
+
+// GetID returns the cached dictionary-id vector for key covering records
+// [key.Start, end), or nil. Id vectors live under the same budget and LRU
+// order as value vectors, keyed apart by Key.ID.
+func (c *Cache) GetID(key Key, end int64) *scan.IDVector {
+	if c == nil {
+		return nil
 	}
-	if size > c.budget {
+	key.ID = true
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*entry)
+	if e.end != end {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return e.iv
+}
+
+// AddID admits a dictionary-id vector covering records [key.Start, end)
+// under the same budget and eviction policy as Add. The vector becomes
+// shared and read-only.
+func (c *Cache) AddID(key Key, end int64, iv *scan.IDVector) bool {
+	if c == nil || iv == nil {
+		return false
+	}
+	key.ID = true
+	return c.admit(&entry{key: key, end: end, iv: iv, size: iv.MemBytes()})
+}
+
+// admit inserts an entry, evicting from the LRU tail until the budget
+// holds. An entry larger than the whole budget is not admitted.
+func (c *Cache) admit(e *entry) bool {
+	if e.size <= 0 {
+		e.size = 1
+	}
+	if e.size > c.budget {
 		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
+	if el, ok := c.entries[e.key]; ok {
 		// Replace: a different batch boundary over the same start wins.
 		old := el.Value.(*entry)
 		c.used -= old.size
 		c.ll.Remove(el)
-		delete(c.entries, key)
+		delete(c.entries, e.key)
 	}
-	for c.used+size > c.budget {
+	for c.used+e.size > c.budget {
 		el := c.ll.Back()
 		if el == nil {
 			break
@@ -117,8 +160,8 @@ func (c *Cache) Add(key Key, end int64, v *scan.Vector) bool {
 		delete(c.entries, old.key)
 		c.used -= old.size
 	}
-	c.entries[key] = c.ll.PushFront(&entry{key: key, end: end, v: v, size: size})
-	c.used += size
+	c.entries[e.key] = c.ll.PushFront(e)
+	c.used += e.size
 	return true
 }
 
