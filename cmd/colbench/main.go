@@ -75,6 +75,14 @@ var experiments = []struct {
 		}},
 	{"serve", "scan server sweep: sharing window vs continuous arrivals (rate x overlap x window)",
 		func(c bench.Config) error { _, err := bench.Serve(c); return err }},
+	{"ingest", "streaming ingest sweep: arrival rate x compaction cadence x recrawl vs bulk load (writes BENCH_ingest.json)",
+		func(c bench.Config) error {
+			res, err := bench.Ingest(c)
+			if err != nil {
+				return err
+			}
+			return writeJSON("BENCH_ingest.json", res)
+		}},
 	{"skiplevels", "ablation: skip-list level configuration",
 		func(c bench.Config) error { _, err := bench.AblationSkipLevels(c); return err }},
 	{"parallelism", "ablation: split granularity vs cluster parallelism (§4.3)",

@@ -2,14 +2,21 @@
 // reports its storage profile per format — a quick way to inspect how the
 // workloads and formats behave before running full experiments.
 //
+// The arrival workload is different in kind: instead of a static dataset it
+// profiles the continuous crawl stream that feeds colingest — arrivals at a
+// configurable mean rate, a fraction of them recrawls of already-seen URLs,
+// with optional content-size skew.
+//
 // Usage:
 //
-//	colgen [-workload synthetic|crawl|wide] [-records N] [-columns N] [-seed N]
+//	colgen [-workload synthetic|crawl|wide|arrival] [-records N] [-columns N] [-seed N]
+//	       [-rate R] [-recrawl F] [-skew S]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"text/tabwriter"
 
@@ -34,6 +41,9 @@ func main() {
 		records = flag.Int64("records", 20000, "number of records")
 		columns = flag.Int("columns", 40, "columns for the wide workload")
 		seed    = flag.Int64("seed", 2011, "generator seed")
+		rate    = flag.Float64("rate", 100, "arrival mode: mean arrivals per second")
+		recrawl = flag.Float64("recrawl", 0.2, "arrival mode: fraction of arrivals revisiting a seen URL")
+		skew    = flag.Float64("skew", 0, "arrival mode: content-size skew exponent (0 = none)")
 	)
 	flag.Parse()
 
@@ -45,6 +55,9 @@ func main() {
 		gen = workload.NewCrawl(workload.CrawlOptions{Seed: *seed})
 	case "wide":
 		gen = workload.NewWide(*seed, *columns)
+	case "arrival":
+		profileArrivals(*records, *seed, *rate, *recrawl, *skew)
+		return
 	default:
 		fmt.Fprintf(os.Stderr, "colgen: unknown workload %q\n", *kind)
 		os.Exit(2)
@@ -128,6 +141,49 @@ func main() {
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%.1f%%\n", fi.Name(), fi.Size, 100*float64(fi.Size)/float64(sizes["CIF"]))
 	}
+	tw.Flush()
+}
+
+// profileArrivals replays n arrivals of the streaming crawl workload and
+// reports the stream's shape: how hot the recrawl traffic is, how long the
+// stream spans in simulated time, and how skew stretches the content column.
+func profileArrivals(n, seed int64, rate, recrawl, skew float64) {
+	stream := workload.NewArrivalStream(workload.ArrivalOptions{
+		Crawl:           workload.CrawlOptions{Seed: seed},
+		Seed:            seed,
+		RatePerSec:      rate,
+		RecrawlFraction: recrawl,
+		ContentSkew:     skew,
+	})
+	ci := stream.Crawl().Schema().FieldIndex("content")
+	var recrawls, totalContent int64
+	minContent, maxContent := int64(math.MaxInt64), int64(0)
+	var firstMs, lastMs int64
+	for i := int64(0); i < n; i++ {
+		a := stream.Next()
+		if i == 0 {
+			firstMs = a.Millis
+		}
+		lastMs = a.Millis
+		if a.Version > 0 {
+			recrawls++
+		}
+		sz := int64(len(a.Rec.GetAt(ci).([]byte)))
+		totalContent += sz
+		if sz < minContent {
+			minContent = sz
+		}
+		if sz > maxContent {
+			maxContent = sz
+		}
+	}
+	span := float64(lastMs-firstMs) / 1000
+	fmt.Printf("arrival stream: %d arrivals, rate %.0f/s, recrawl %.2f, skew %.2f\n\n", n, rate, recrawl, skew)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "distinct URLs\t%d\n", stream.Seen())
+	fmt.Fprintf(tw, "recrawls\t%d (%.1f%%)\n", recrawls, 100*float64(recrawls)/float64(n))
+	fmt.Fprintf(tw, "stream span\t%.1fs (effective %.1f arrivals/s)\n", span, float64(n-1)/span)
+	fmt.Fprintf(tw, "content bytes\tmin %d / mean %d / max %d\n", minContent, totalContent/n, maxContent)
 	tw.Flush()
 }
 

@@ -64,6 +64,9 @@ func (r *Reader) DrainAggregate() (*scan.AggState, error) {
 			continue
 		}
 		r.curPos++
+		if r.dels.has(r.curPos) {
+			continue
+		}
 		if r.planner.Predicate() != nil {
 			ok, err := r.qualifies()
 			if err != nil {
@@ -88,6 +91,11 @@ func (r *Reader) DrainAggregate() (*scan.AggState, error) {
 // reports whether the fold happened (end is then one past the folded
 // region); a false return costs only zone-map lookups, never a byte.
 func (r *Reader) aggStatsShortcut(st *scan.AggState, pos int64) (end int64, ok bool, err error) {
+	if r.dels != nil {
+		// A directory with superseded rows cannot fold from stats: the
+		// entries describe deleted rows too.
+		return 0, false, nil
+	}
 	all, end := r.planner.MatchAllGroup(pos, r.total, r.groupStats)
 	if !all || end <= pos {
 		return 0, false, nil
@@ -162,6 +170,7 @@ func (r *Reader) aggBatchFold(st *scan.AggState) error {
 	if pred != nil {
 		b.prefetch(r.eagerCols(), true)
 		in := scan.GetFullSelection(b.n)
+		del := r.dels.mask(in, pos, end)
 		out, err := pred.VecEval(b, in)
 		scan.PutSelection(in)
 		r.foldCursorStats()
@@ -173,10 +182,11 @@ func (r *Reader) aggBatchFold(st *scan.AggState) error {
 		if r.stats != nil {
 			r.stats.VecBatches++
 			r.stats.RowsVectorized += int64(b.n)
-			r.stats.RecordsFiltered += int64(b.n) - int64(sel.Count())
+			r.stats.RecordsFiltered += int64(b.n) - del - int64(sel.Count())
 		}
 	} else {
 		sel = scan.GetFullSelection(b.n)
+		r.dels.mask(sel, pos, end)
 	}
 	rows, err := st.FoldBatch(sel, b)
 	r.foldCursorStats()

@@ -86,6 +86,11 @@ func resolveSpec(conf *mapred.JobConf) (scan.Spec, error) {
 // Split is a CIF split: one or more whole split-directories.
 type Split struct {
 	Dirs []string
+	// Dels holds each directory's delete-file path, parallel to Dirs (""
+	// or a short slice means no deletes — hand-built splits over
+	// bulk-loaded data leave it nil). Captured at planning time from one
+	// manifest snapshot, so the reader never re-reads the manifest.
+	Dels []string
 	// Columns is the projection captured at split-generation time, used
 	// for locality ranking (only projected files matter).
 	Columns []string
@@ -154,7 +159,8 @@ func (s *Split) files(fs *hdfs.FileSystem, dir string) []string {
 	}
 	var out []string
 	for _, fi := range infos {
-		if !fi.IsDir && fi.Name() != SchemaFile {
+		if !fi.IsDir && !strings.HasPrefix(fi.Name(), "_") {
+			// "_"-prefixed files are metadata (schema, deletes), not columns.
 			out = append(out, fi.Path)
 		}
 	}
@@ -202,7 +208,7 @@ func (f *InputFormat) PlannedSplits(fs *hdfs.FileSystem, conf *mapred.JobConf) (
 }
 
 func (f *InputFormat) plannedSplits(fs *hdfs.FileSystem, conf *mapred.JobConf, allowElide bool) ([]mapred.Split, scan.PruneReport, error) {
-	plan, err := f.planDirs(fs, conf, allowElide)
+	plan, err := f.planDirs(fs, conf, allowElide, nil)
 	if err != nil {
 		return nil, plan.report, err
 	}
@@ -214,7 +220,7 @@ func (f *InputFormat) plannedSplits(fs *hdfs.FileSystem, conf *mapred.JobConf, a
 			if j > len(ds.kept) {
 				j = len(ds.kept)
 			}
-			out = append(out, &Split{Dirs: ds.kept[i:j], Columns: plan.columns, Judged: plan.elide})
+			out = append(out, &Split{Dirs: ds.kept[i:j], Dels: ds.keptDels[i:j], Columns: plan.columns, Judged: plan.elide})
 		}
 	}
 	return out, plan.report, nil
@@ -234,18 +240,23 @@ type dirPlan struct {
 }
 
 // datasetDirs is one input dataset's directory listing: all
-// split-directories in numeric order, and the subset the scheduler kept.
+// split-directories in scan order (with their delete files, parallel), and
+// the subset the scheduler kept.
 type datasetDirs struct {
-	path string
-	all  []string
-	kept []string
+	path     string
+	all      []string
+	allDels  []string
+	kept     []string
+	keptDels []string
 }
 
 // planDirs runs split-directory listing and the scheduler pruning tier for
 // one job — everything plannedSplits does short of chunking directories
 // into splits. SharedSplits reuses it per member job, which is what makes
-// per-job elision accounting in a batch identical to a solo run.
-func (f *InputFormat) planDirs(fs *hdfs.FileSystem, conf *mapred.JobConf, allowElide bool) (dirPlan, error) {
+// per-job elision accounting in a batch identical to a solo run; layouts,
+// when non-nil, pins every member to one layout snapshot per dataset so a
+// manifest commit cannot land between their planning passes.
+func (f *InputFormat) planDirs(fs *hdfs.FileSystem, conf *mapred.JobConf, allowElide bool, layouts map[string]dsLayout) (dirPlan, error) {
 	var plan dirPlan
 	spec, err := resolveSpec(conf)
 	if err != nil {
@@ -278,23 +289,26 @@ func (f *InputFormat) planDirs(fs *hdfs.FileSystem, conf *mapred.JobConf, allowE
 	}
 	plan.elide = allowElide && pred != nil && spec.Elide()
 	for _, dataset := range conf.InputPaths {
-		dirs, err := listSplitDirs(fs, dataset)
+		layout, err := layoutCached(fs, dataset, layouts)
 		if err != nil {
 			return plan, err
 		}
+		dirs, dels := layout.dirs, layout.dels
 		plan.report.SplitsTotal += len(dirs)
-		kept := dirs
+		kept, keptDels := dirs, dels
 		if plan.elide {
 			kept = make([]string, 0, len(dirs))
-			for _, dir := range dirs {
+			keptDels = make([]string, 0, len(dirs))
+			for i, dir := range dirs {
 				if pruneSplitDir(fs, dir, planner, &plan.report) {
 					plan.report.SplitsPruned++
 					continue
 				}
 				kept = append(kept, dir)
+				keptDels = append(keptDels, dels[i])
 			}
 		}
-		plan.datasets = append(plan.datasets, datasetDirs{path: dataset, all: dirs, kept: kept})
+		plan.datasets = append(plan.datasets, datasetDirs{path: dataset, all: dirs, allDels: dels, kept: kept, keptDels: keptDels})
 	}
 	return plan, nil
 }
@@ -485,7 +499,7 @@ func (f *InputFormat) Open(fs *hdfs.FileSystem, conf *mapred.JobConf, split mapr
 	// The reader's file tier runs only for splits the scheduler has not
 	// already judged (and not at all when elision is disabled).
 	fileTier := spec.Elide() && !csplit.Judged
-	return newReader(fs, csplit.Dirs, columns, &spec, fileTier, conf.Cache, conf.VecCache, node, stats)
+	return newReader(fs, csplit.Dirs, csplit.Dels, columns, &spec, fileTier, conf.Cache, conf.VecCache, node, stats)
 }
 
 // Reader iterates the records of a CIF split. It is also usable directly
@@ -547,13 +561,19 @@ type Reader struct {
 	columns []string      // projected columns (cursor prefix)
 	allCols []string      // projected plus filter-only predicate columns
 
-	dirs    []string
-	dirIdx  int
-	cursors []*cursor
-	byName  map[string]*cursor
-	total   int64 // records in the open split-directory
-	curPos  int64 // index of the record most recently returned by Next
-	done    bool
+	dirs []string
+	// delFiles is each directory's delete-file path, parallel to dirs (nil
+	// for bulk-loaded data); dels is the open directory's loaded delete set
+	// (nil when it has none). Deleted ordinals are superseded recrawl rows:
+	// they are skipped before predicate evaluation and counted nowhere.
+	delFiles []string
+	dels     *delSet
+	dirIdx   int
+	cursors  []*cursor
+	byName   map[string]*cursor
+	total    int64 // records in the open split-directory
+	curPos   int64 // index of the record most recently returned by Next
+	done     bool
 	// eval is the column accessor predicate evaluation uses, built once
 	// per reader (Eval runs per record; the scan loop is hot).
 	eval evalCtx
@@ -584,7 +604,7 @@ type cursor struct {
 	phys sim.TaskStats
 }
 
-func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, spec *scan.Spec, fileTier bool, cache *hdfs.ScanCache, vcache *vec.Cache, node hdfs.NodeID, stats *sim.TaskStats) (*Reader, error) {
+func newReader(fs *hdfs.FileSystem, dirs, dels []string, columns []string, spec *scan.Spec, fileTier bool, cache *hdfs.ScanCache, vcache *vec.Cache, node hdfs.NodeID, stats *sim.TaskStats) (*Reader, error) {
 	schema, err := readSplitSchema(fs, dirs[0])
 	if err != nil {
 		return nil, err
@@ -653,6 +673,7 @@ func newReader(fs *hdfs.FileSystem, dirs []string, columns []string, spec *scan.
 		allCols:        allCols,
 		agg:            agg,
 		dirs:           dirs,
+		delFiles:       dels,
 		dirIdx:         -1,
 		lastCounted:    -1,
 		lastCountedDir: -1,
@@ -733,6 +754,12 @@ func (r *Reader) nextDir() error {
 		}
 		if pruned {
 			continue
+		}
+		if r.dels, err = loadDelSet(r.fs, delFileAt(r.delFiles, r.dirIdx)); err != nil {
+			return err
+		}
+		if r.stats != nil && isFreshPartition(dir) {
+			r.stats.FreshPartitionsScanned++
 		}
 		r.curPos = -1
 		r.pruneValidTo = 0
@@ -896,6 +923,9 @@ func (r *Reader) Next() (any, any, bool, error) {
 			continue
 		}
 		r.curPos++
+		if r.dels.has(r.curPos) {
+			continue
+		}
 		if r.planner.Predicate() == nil {
 			break
 		}

@@ -69,6 +69,19 @@ func (w *Writer) Append(rec *serde.GenericRecord) error {
 	return nil
 }
 
+// Tell reports where the next Append will land: the split-directory path
+// and the record's ordinal within it. Callers that must address written
+// records later (e.g. ingest compaction rebuilding its key index) call
+// Tell before each Append.
+func (w *Writer) Tell() (string, int64) {
+	if w.cols == nil {
+		// Rotation (or first write) pending: the next Append opens a fresh
+		// split-directory.
+		return w.dataset + "/" + splitDirName(w.splitIdx+1), 0
+	}
+	return w.dataset + "/" + splitDirName(w.splitIdx), w.splitCount
+}
+
 func (w *Writer) splitFull() bool {
 	if w.opts.SplitRecords > 0 && w.splitCount >= w.opts.SplitRecords {
 		return true

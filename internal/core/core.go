@@ -65,14 +65,14 @@ func listSplitDirs(fs *hdfs.FileSystem, dataset string) ([]string, error) {
 	return out, nil
 }
 
-// ReadSchema returns the schema of a CIF dataset (from its first
-// split-directory).
+// ReadSchema returns the schema of a CIF dataset (from the first partition
+// of its manifest, or its first split-directory when it publishes none).
 func ReadSchema(fs *hdfs.FileSystem, dataset string) (*serde.Schema, error) {
-	dirs, err := listSplitDirs(fs, dataset)
+	layout, err := datasetLayout(fs, dataset)
 	if err != nil {
 		return nil, err
 	}
-	return readSplitSchema(fs, dirs[0])
+	return readSplitSchema(fs, layout.dirs[0])
 }
 
 func readSplitSchema(fs *hdfs.FileSystem, dir string) (*serde.Schema, error) {

@@ -48,8 +48,12 @@ import (
 func (f *InputFormat) SharedSplits(fs *hdfs.FileSystem, confs []*mapred.JobConf) ([]mapred.SharedSplit, []scan.PruneReport, error) {
 	reports := make([]scan.PruneReport, len(confs))
 	plans := make([]dirPlan, len(confs))
+	// One layout snapshot per dataset for the whole batch: a manifest commit
+	// landing mid-planning must not hand members different generations of
+	// one cursor set.
+	layouts := make(map[string]dsLayout)
 	for i, conf := range confs {
-		plan, err := f.planDirs(fs, conf, true)
+		plan, err := f.planDirs(fs, conf, true, layouts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: planning batch member %d: %w", i, err)
 		}
@@ -57,15 +61,19 @@ func (f *InputFormat) SharedSplits(fs *hdfs.FileSystem, confs []*mapred.JobConf)
 		reports[i] = plan.report
 	}
 	// Global directory order: datasets in first-appearance order across
-	// members, directories in numeric order within each dataset.
+	// members, directories in scan order within each dataset.
 	var datasetOrder []string
 	allOf := make(map[string][]string)
+	delOf := make(map[string]string)
 	membersOf := make(map[string][]int)
 	for i := range plans {
 		for _, ds := range plans[i].datasets {
 			if _, ok := allOf[ds.path]; !ok {
 				datasetOrder = append(datasetOrder, ds.path)
 				allOf[ds.path] = ds.all
+				for di, dir := range ds.all {
+					delOf[dir] = ds.allDels[di]
+				}
 			}
 			for _, dir := range ds.kept {
 				membersOf[dir] = append(membersOf[dir], i)
@@ -105,8 +113,12 @@ func (f *InputFormat) SharedSplits(fs *hdfs.FileSystem, confs []*mapred.JobConf)
 				if b > len(run) {
 					b = len(run)
 				}
+				dels := make([]string, b-a)
+				for di, dir := range run[a:b] {
+					dels[di] = delOf[dir]
+				}
 				out = append(out, mapred.SharedSplit{
-					Split:   &Split{Dirs: run[a:b], Columns: cols, Judged: true},
+					Split:   &Split{Dirs: run[a:b], Dels: dels, Columns: cols, Judged: true},
 					Members: append([]int(nil), ms...),
 				})
 			}
@@ -170,12 +182,13 @@ func (f *InputFormat) OpenShared(fs *hdfs.FileSystem, confs []*mapred.JobConf, s
 		return nil, err
 	}
 	sr := &SharedReader{
-		fs:     fs,
-		node:   node,
-		shared: shared,
-		schema: schema,
-		dirs:   csplit.Dirs,
-		dirIdx: -1,
+		fs:       fs,
+		node:     node,
+		shared:   shared,
+		schema:   schema,
+		dirs:     csplit.Dirs,
+		delFiles: csplit.Dels,
+		dirIdx:   -1,
 	}
 	preds := make([]scan.Predicate, len(members))
 	anyNoBloom := false
@@ -372,7 +385,14 @@ type SharedReader struct {
 	allCols []string
 	needers []int // members needing each column
 
-	dirs         []string
+	dirs []string
+	// delFiles / dels: superseded-row masking, as in the solo Reader.
+	// Deleted rows never surface or fold; unlike the solo path, a deleted
+	// row inside a member's may-match region lands in that member's
+	// defensive RecordsFiltered count (advanceMember crosses it), an
+	// accepted counter divergence on ingest datasets.
+	delFiles     []string
+	dels         *delSet
 	dirIdx       int
 	cursors      []*cursor
 	colIO        []sim.IOStats // per-cursor physical I/O for the open dir
@@ -462,6 +482,13 @@ func (sr *SharedReader) nextDir() error {
 	}
 	if err := sr.openDir(dir); err != nil {
 		return err
+	}
+	var err error
+	if sr.dels, err = loadDelSet(sr.fs, delFileAt(sr.delFiles, sr.dirIdx)); err != nil {
+		return err
+	}
+	if isFreshPartition(dir) {
+		sr.shared.FreshPartitionsScanned++
 	}
 	sr.curPos = -1
 	sr.pruneValidTo = 0
@@ -615,6 +642,9 @@ func (sr *SharedReader) Next() (any, []any, []int, bool, error) {
 				continue
 			}
 			sr.pruneValidTo = end
+		}
+		if sr.dels.has(pos) {
+			continue
 		}
 		sr.outVals = sr.outVals[:0]
 		sr.outIdx = sr.outIdx[:0]

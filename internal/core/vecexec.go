@@ -460,7 +460,12 @@ func (r *Reader) vecAdvance() error {
 	}
 	b := newColBatch(r, r.dirs[r.dirIdx], pos, end)
 	b.prefetch(r.eagerCols(), true)
-	sel, err := r.planner.Predicate().VecEval(b, scan.NewSelection(b.n))
+	// Deleted (superseded) rows are masked out of the input selection, so
+	// they are neither evaluated nor counted — the exact rows the scalar
+	// loop skips before its predicate check.
+	in := scan.NewSelection(b.n)
+	del := r.dels.mask(in, pos, end)
+	sel, err := r.planner.Predicate().VecEval(b, in)
 	r.foldCursorStats()
 	if err != nil {
 		b.release()
@@ -469,7 +474,7 @@ func (r *Reader) vecAdvance() error {
 	if r.stats != nil {
 		r.stats.VecBatches++
 		r.stats.RowsVectorized += int64(b.n)
-		r.stats.RecordsFiltered += int64(b.n) - int64(sel.Count())
+		r.stats.RecordsFiltered += int64(b.n) - del - int64(sel.Count())
 	}
 	if sel.Empty() {
 		r.curPos = end - 1
@@ -594,6 +599,11 @@ func (sr *SharedReader) buildBatch(start, end int64) error {
 	for mi, m := range sr.members {
 		w := scan.NewEmptySelection(b.n)
 		for pos := start; pos < end; pos++ {
+			// Superseded rows are invisible: never wanted, never evaluated,
+			// never folded — as in the scalar demux loop's skip.
+			if sr.dels.has(pos) {
+				continue
+			}
 			if sr.memberWants(m, pos) {
 				w.Set(int(pos - start))
 				m.acctPos = pos + 1

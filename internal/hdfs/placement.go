@@ -91,8 +91,9 @@ func pickLeastLoaded(fs *FileSystem, taken map[NodeID]bool) (NodeID, bool) {
 
 // SplitDirOf reports the split-directory prefix of a path following the
 // paper's naming convention: any directory component named "s<digits>"
-// (e.g. /data/2011-01-01/s0/url). It returns the path up to and including
-// that component.
+// (e.g. /data/2011-01-01/s0/url) or, for streaming-ingest partitions,
+// "seq-<digits>" (e.g. /data/dt=300/seq-2/url). It returns the path up to
+// and including that component.
 func SplitDirOf(p string) (string, bool) {
 	dir := p
 	for dir != "/" && dir != "." && dir != "" {
@@ -113,7 +114,14 @@ func isSplitComponent(name string) bool {
 	if len(name) < 2 || name[0] != 's' {
 		return false
 	}
-	for _, c := range name[1:] {
+	digits := name[1:]
+	if strings.HasPrefix(digits, "eq-") { // ingest partitions: seq-<digits>
+		digits = digits[len("eq-"):]
+		if digits == "" {
+			return false
+		}
+	}
+	for _, c := range digits {
 		if c < '0' || c > '9' {
 			return false
 		}

@@ -31,13 +31,16 @@ type AggKind int
 
 // Aggregate functions. AggCount is COUNT(*): it counts selected rows and
 // reads no column. AggCountCol counts non-null values of its column;
-// AggMin/AggMax/AggSum ignore nulls, as in SQL.
+// AggMin/AggMax/AggSum/AggAvg ignore nulls, as in SQL. AggAvg derives from
+// sum and non-null-count partials, so it merges across tasks exactly like
+// its components (the division happens once, at output).
 const (
 	AggCount AggKind = iota
 	AggCountCol
 	AggMin
 	AggMax
 	AggSum
+	AggAvg
 )
 
 // String returns the function name.
@@ -49,6 +52,8 @@ func (k AggKind) String() string {
 		return "min"
 	case AggMax:
 		return "max"
+	case AggAvg:
+		return "avg"
 	default:
 		return "sum"
 	}
@@ -132,7 +137,7 @@ func (a *Aggregate) Validate() error {
 			if f.Col != "" {
 				return fmt.Errorf("scan: count takes its column via count(col)")
 			}
-		case AggCountCol, AggMin, AggMax, AggSum:
+		case AggCountCol, AggMin, AggMax, AggSum, AggAvg:
 			if f.Col == "" {
 				return fmt.Errorf("scan: %s requires a column", f.Kind)
 			}
@@ -200,6 +205,8 @@ func ParseAggregate(src string) (*Aggregate, error) {
 			kind = AggMax
 		case "sum":
 			kind = AggSum
+		case "avg":
+			kind = AggAvg
 		default:
 			return nil, fmt.Errorf("scan: unknown aggregate function %q", name)
 		}
@@ -322,7 +329,7 @@ func (acc *aggAcc) foldValue(kind AggKind, col string, v any) error {
 			acc.min = copyBoundValue(v)
 		}
 		return nil
-	default: // AggSum
+	default: // AggSum, AggAvg: sum partials (avg also counts its non-nulls)
 		switch x := v.(type) {
 		case int32:
 			acc.sumI += int64(x)
@@ -332,7 +339,10 @@ func (acc *aggAcc) foldValue(kind AggKind, col string, v any) error {
 			acc.sumF += x
 			acc.sumIsF = true
 		default:
-			return fmt.Errorf("scan: sum(%s) over non-numeric value %T", col, v)
+			return fmt.Errorf("scan: %s(%s) over non-numeric value %T", kind, col, v)
+		}
+		if kind == AggAvg {
+			acc.count++
 		}
 		acc.hasVal = true
 		return nil
@@ -350,6 +360,15 @@ func (acc *aggAcc) value(kind AggKind) any {
 			return nil
 		}
 		return acc.min
+	case AggAvg:
+		if !acc.hasVal {
+			return nil
+		}
+		sum := float64(acc.sumI)
+		if acc.sumIsF {
+			sum = acc.sumF
+		}
+		return sum / float64(acc.count)
 	default:
 		if !acc.hasVal {
 			return nil
@@ -547,7 +566,7 @@ func (s *AggState) StatsAnswerable(rows int64, stats StatsFunc) bool {
 			if st.Nulls != rows && !st.HasMinMax {
 				return false
 			}
-		case AggSum:
+		case AggSum, AggAvg:
 			if st.Nulls != rows {
 				return false
 			}
@@ -600,7 +619,7 @@ func (s *AggState) FoldStats(rows int64, stats StatsFunc) error {
 			if err := acc.foldValue(f.Kind, f.Col, bound); err != nil {
 				return err
 			}
-		case AggSum:
+		case AggSum, AggAvg:
 			// All null: nothing to fold (StatsAnswerable guaranteed it).
 		}
 	}
@@ -630,12 +649,13 @@ func (s *AggState) Merge(o *AggState) error {
 						return err
 					}
 				}
-			case AggSum:
+			case AggSum, AggAvg:
 				if oacc.hasVal {
 					acc.hasVal = true
 					acc.sumI += oacc.sumI
 					acc.sumF += oacc.sumF
 					acc.sumIsF = acc.sumIsF || oacc.sumIsF
+					acc.count += oacc.count // avg's non-null count (0 for sum)
 				}
 			}
 		}

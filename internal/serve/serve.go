@@ -177,6 +177,30 @@ func New(fs *hdfs.FileSystem, opts Options) *Server {
 // Invalidate after dataset reloads).
 func (s *Server) Session() *mapred.Session { return s.session }
 
+// Committer is a streaming writer that announces manifest commits —
+// structurally, ingest.Ingester. Each callback receives the committed
+// generation and the directories that commit retired, and runs on the
+// committing goroutine.
+type Committer interface {
+	OnCommit(func(gen int64, retired []string))
+}
+
+// ServeLive subscribes the server to a continuously-written dataset: when
+// a commit retires directories (compaction replacing fresh partitions),
+// their cached regions and vectors are dropped from the session caches.
+// Correctness needs no hook — cache keys carry file generations and
+// manifests are immutable, so a query racing a commit simply answers
+// against the previous complete generation — this is purely keeping the
+// cache working set aligned with the live layout while queries and
+// ingestion run concurrently.
+func (s *Server) ServeLive(src Committer) {
+	src.OnCommit(func(_ int64, retired []string) {
+		for _, dir := range retired {
+			s.session.Invalidate(dir)
+		}
+	})
+}
+
 // Enqueue admits one query for the tenant. The job is validated up front
 // and owned by the server from then on (its conf gains the session cache);
 // results arrive through the ticket. Queries of one tenant are served in

@@ -233,6 +233,22 @@ type TaskStats struct {
 	// resolved to its window id once and rows compare as integers, never
 	// materializing the strings.
 	DictIdCompares int64
+	// FlushedFiles is the number of files the streaming ingest path wrote
+	// while flushing memtables into fresh time-partitioned split-directories
+	// (schema, column, and delete files all count: each is a real create).
+	FlushedFiles int64
+	// CompactionBytes is the bytes of column data a compaction job wrote
+	// while merging small fresh partitions into large statistics-rich ones.
+	CompactionBytes int64
+	// UpsertsResolved is the number of superseded record versions the ingest
+	// path retired — a recrawl arrival shadowing an earlier version of the
+	// same key, whether resolved in the memtable, against a flushed
+	// partition, or at compaction time.
+	UpsertsResolved int64
+	// FreshPartitionsScanned is the number of not-yet-compacted ingest
+	// partitions (seq-N split-directories) a scan read through the
+	// merge-on-read path.
+	FreshPartitionsScanned int64
 }
 
 // Add accumulates o into s.
@@ -260,6 +276,10 @@ func (s *TaskStats) Add(o TaskStats) {
 	s.RowsAggregated += o.RowsAggregated
 	s.AggGroupsShortcut += o.AggGroupsShortcut
 	s.DictIdCompares += o.DictIdCompares
+	s.FlushedFiles += o.FlushedFiles
+	s.CompactionBytes += o.CompactionBytes
+	s.UpsertsResolved += o.UpsertsResolved
+	s.FreshPartitionsScanned += o.FreshPartitionsScanned
 }
 
 // Scale multiplies every counter by k.
@@ -287,6 +307,10 @@ func (s *TaskStats) Scale(k float64) {
 	s.RowsAggregated = scaleInt(s.RowsAggregated, k)
 	s.AggGroupsShortcut = scaleInt(s.AggGroupsShortcut, k)
 	s.DictIdCompares = scaleInt(s.DictIdCompares, k)
+	s.FlushedFiles = scaleInt(s.FlushedFiles, k)
+	s.CompactionBytes = scaleInt(s.CompactionBytes, k)
+	s.UpsertsResolved = scaleInt(s.UpsertsResolved, k)
+	s.FreshPartitionsScanned = scaleInt(s.FreshPartitionsScanned, k)
 }
 
 func scaleInt(v int64, k float64) int64 {

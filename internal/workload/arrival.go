@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"colmr/internal/serde"
+)
+
+// ArrivalOptions configures a simulated crawl-frontier arrival stream.
+type ArrivalOptions struct {
+	// Crawl configures the underlying URL universe and record shapes.
+	Crawl CrawlOptions
+	// Seed drives arrival timing and recrawl choice (independent of
+	// Crawl.Seed, which fixes page identities).
+	Seed int64
+	// RatePerSec is the mean arrival rate (exponential inter-arrivals;
+	// default 100/s).
+	RatePerSec float64
+	// RecrawlFraction is the probability an arrival revisits an
+	// already-seen URL instead of discovering a new one (default 0).
+	RecrawlFraction float64
+	// ContentSkew heavy-tails the content column: each page's body size is
+	// multiplied by a log-exponential (Pareto-tailed) factor of this shape
+	// (0 disables). Real crawls are dominated by a minority of huge pages;
+	// the skew is what makes within-file readahead policy interesting on
+	// the content column.
+	ContentSkew float64
+	// StartMillis is the stream's epoch (default: the crawl dataset's
+	// first fetchTime).
+	StartMillis int64
+}
+
+// Arrival is one crawl result leaving the fetcher.
+type Arrival struct {
+	// Index identifies the URL (the crawl generator's record index).
+	Index int64
+	// Version counts crawls of this URL so far (0 = first crawl).
+	Version int
+	// Millis is the arrival (fetch) time.
+	Millis int64
+	// Rec is the URLInfo record.
+	Rec *serde.GenericRecord
+}
+
+// ArrivalStream generates a deterministic, time-ordered stream of crawl
+// arrivals: new pages mixed with recrawls of already-seen URLs, at an
+// exponential arrival rate. Two streams with equal options produce
+// identical sequences, which is what the ingest equivalence tests replay.
+type ArrivalStream struct {
+	crawl   *Crawl
+	opts    ArrivalOptions
+	rng     *rand.Rand
+	clock   float64 // millis
+	nextIdx int64
+	vers    map[int64]int
+}
+
+// NewArrivalStream returns a stream over the options' URL universe.
+func NewArrivalStream(opts ArrivalOptions) *ArrivalStream {
+	if opts.RatePerSec <= 0 {
+		opts.RatePerSec = 100
+	}
+	if opts.StartMillis == 0 {
+		opts.StartMillis = 1293840000000
+	}
+	return &ArrivalStream{
+		crawl: NewCrawl(opts.Crawl),
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(opts.Seed ^ 0x6172726976616c)),
+		clock: float64(opts.StartMillis),
+		vers:  make(map[int64]int),
+	}
+}
+
+// Crawl returns the underlying record generator (for schemas and
+// predicates).
+func (s *ArrivalStream) Crawl() *Crawl { return s.crawl }
+
+// Seen returns the number of distinct URLs crawled so far.
+func (s *ArrivalStream) Seen() int64 { return s.nextIdx }
+
+// Next returns the next arrival. Arrival times are nondecreasing.
+func (s *ArrivalStream) Next() Arrival {
+	s.clock += s.rng.ExpFloat64() * 1000 / s.opts.RatePerSec
+	millis := int64(s.clock)
+	var idx int64
+	var ver int
+	if s.nextIdx > 0 && s.rng.Float64() < s.opts.RecrawlFraction {
+		idx = s.rng.Int63n(s.nextIdx)
+		ver = s.vers[idx] + 1
+	} else {
+		idx = s.nextIdx
+		s.nextIdx++
+	}
+	s.vers[idx] = ver
+	rec := s.crawl.RecordVersion(idx, ver, millis)
+	if s.opts.ContentSkew > 0 {
+		// Redraw the body at a Pareto-tailed multiple of its drawn size;
+		// exp(skew·Exp(1)) has tail index 1/skew. Capped so a single page
+		// cannot dwarf the dataset.
+		factor := math.Exp(s.opts.ContentSkew * s.rng.ExpFloat64())
+		if factor > 32 {
+			factor = 32
+		}
+		base := len(rec.GetAt(6).([]byte))
+		crng := recordRNG(s.opts.Seed^0x736b6577, idx*1000003+int64(ver))
+		rec.SetAt(6, pageContent(crng, int(float64(base)*factor)))
+	}
+	return Arrival{Index: idx, Version: ver, Millis: millis, Rec: rec}
+}

@@ -222,6 +222,31 @@ func (c *Crawl) Record(i int64) *serde.GenericRecord {
 	return rec
 }
 
+// RecordVersion generates version ver of record i — the page as a recrawl
+// at fetchTime sees it. The URL (and srcUrl) are the record's identity and
+// never change; the volatile fields — fetchTime, freshness metadata, and
+// the page body — are redrawn from a version-salted stream, so successive
+// crawls of one URL produce genuinely different bytes. Version 0 with
+// fetchTime 0 is exactly Record(i).
+func (c *Crawl) RecordVersion(i int64, ver int, fetchTime int64) *serde.GenericRecord {
+	rec := c.Record(i)
+	if fetchTime != 0 {
+		rec.SetAt(2, fetchTime)
+	}
+	if ver == 0 {
+		return rec
+	}
+	rng := recordRNG(c.opts.Seed^0x7663726177, i*1000003+int64(ver))
+	meta := rec.GetAt(4).(map[string]any)
+	meta["last-modified"] = randReadable(rng, 8)
+	if rng.Float64() < 0.5 {
+		meta["etag"] = randReadable(rng, 6)
+	}
+	n := c.opts.ContentBytes/2 + rng.Intn(c.opts.ContentBytes+1)
+	rec.SetAt(6, pageContent(rng, n))
+	return rec
+}
+
 // contentVocab is the word pool page bodies are drawn from. Natural-language
 // pages compress 2-3x with an LZ77 codec; sampling words from a small
 // vocabulary (rather than random characters) reproduces that ratio, which
