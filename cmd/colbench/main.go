@@ -73,6 +73,14 @@ var experiments = []struct {
 			}
 			return writeJSON("BENCH_agg.json", res)
 		}},
+	{"planning", "cost-based planning sweep: histogram estimates vs truth, chosen vs forced materialization across skew (writes BENCH_planning.json)",
+		func(c bench.Config) error {
+			res, err := bench.Planning(c)
+			if err != nil {
+				return err
+			}
+			return writeJSON("BENCH_planning.json", res)
+		}},
 	{"serve", "scan server sweep: sharing window vs continuous arrivals (rate x overlap x window)",
 		func(c bench.Config) error { _, err := bench.Serve(c); return err }},
 	{"ingest", "streaming ingest sweep: arrival rate x compaction cadence x recrawl vs bulk load (writes BENCH_ingest.json)",

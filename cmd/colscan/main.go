@@ -73,6 +73,7 @@ func main() {
 		vect    = flag.Bool("vectorize", true, "evaluate CIF predicates batch-at-a-time over decoded column vectors")
 		cache   = flag.Int64("cache", 0, "session scan-cache budget in bytes; runs the -where clauses as rounds of one cache-backed session")
 		agg     = flag.String("agg", "", `aggregation pushed into the CIF scan, e.g. 'count,min(int0) group by str0'; answered from zone stats and vectors, no records materialized`)
+		explain = flag.Bool("explain", false, "print the cost-based CIF plan (EXPLAIN), run it, and report estimated vs actual pruning per tier")
 		seed    = flag.Int64("seed", 2011, "generator seed")
 	)
 	flag.Var(&wheres, "where", `selection predicate, e.g. 'int0 <= 100 && prefix(str0, "ab")'; repeat to run a shared batch`)
@@ -258,6 +259,12 @@ func main() {
 	}
 	tw.Flush()
 
+	// With -explain, plan the CIF scan cost-based, run the chosen plan, and
+	// hold the estimates to account against the run.
+	if *explain {
+		explainScan(fs, model, "/s/cif", proj, pred, *elide, *vect)
+	}
+
 	// With several -where clauses, run them as one shared CIF batch and
 	// compare against each clause scanning solo.
 	if len(preds) > 1 {
@@ -327,6 +334,29 @@ func aggScan(fs *hdfs.FileSystem, model sim.CostModel, dataset, aggSrc string, p
 		speedup = fmt.Sprintf("%.1fx faster", matSec/pushSec)
 	}
 	fmt.Printf("modeled: pushdown %.4fs vs materializing fold %.4fs (%s)\n", pushSec, matSec, speedup)
+}
+
+// explainScan is `colscan -explain`: build the cost-based plan without
+// pinning materialization or sizing, print it, install its choices, run the
+// job, and print the estimated-vs-actual account per pruning tier.
+func explainScan(fs *hdfs.FileSystem, model sim.CostModel, dataset string, proj []string, p scan.Predicate, elide, vect bool) {
+	job := core.ScanDataset(dataset).
+		Columns(proj...).
+		Where(p).
+		Elide(elide).
+		Vectorize(vect).
+		Job(mapred.MapperFunc(func(_, _ any, _ mapred.Emit) error { return nil }))
+	cif, ok := job.Input.(*core.InputFormat)
+	if !ok {
+		check(fmt.Errorf("explain: job input is %T, not CIF", job.Input))
+	}
+	plan, err := cif.Explain(fs, &job.Conf, model)
+	check(err)
+	fmt.Printf("\n%s\n", plan)
+	plan.Apply(&job.Conf)
+	res, err := mapred.Run(fs, job)
+	check(err)
+	fmt.Printf("%s\n", plan.Report(res, model))
 }
 
 // cifJob builds one map-only CIF job over the dataset through the typed

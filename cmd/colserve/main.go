@@ -54,6 +54,7 @@ func main() {
 		records    = flag.Int64("records", 100000, "number of records to load")
 		splits     = flag.Int64("splits", 16, "split-directories to load them into")
 		seed       = flag.Int64("seed", 2011, "generator and placement seed")
+		explain    = flag.Bool("explain", false, "attach the cost-based EXPLAIN report to every query response")
 	)
 	flag.Parse()
 
@@ -88,8 +89,9 @@ func main() {
 		CacheBytes:  *cache,
 	})
 	handler := serve.NewHandler(srv, serve.HandlerOptions{
-		Datasets: map[string]string{*kind: dataset},
-		Default:  *kind,
+		Datasets:      map[string]string{*kind: dataset},
+		Default:       *kind,
+		AlwaysExplain: *explain,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}

@@ -233,7 +233,7 @@ func TestBloomSaturatedAggregate(t *testing.T) {
 		t.Fatal("aggregate of 12 overfull one-block filters did not saturate to nil")
 	}
 	// A saturated (nil) filter round-trips as "absent".
-	blob, err := appendStatsSectionV3(nil, schema, agg, entries)
+	blob, err := appendStatsSectionV4(nil, schema, agg, entries)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,6 +45,22 @@ const (
 	bloomMaxFileBytes  = 128 << 10
 )
 
+// Histogram collection bounds. The whole-file collector keeps a bounded
+// systematic sample of non-null values (stride doubling when full, so the
+// retained positions stay evenly spaced and deterministic) and cuts it
+// into at most statsHistBuckets equi-depth buckets at finish. Group
+// collectors never sample: a histogram's job is whole-file selectivity
+// estimation, and per-group entries must stay small.
+const (
+	statsHistSamples = 1024
+	statsHistBuckets = 16
+)
+
+// statsMaxHistBuckets bounds a decoded histogram's bucket count; anything
+// larger is corruption, not a finer histogram (the builder emits at most
+// 2*statsHistBuckets).
+const statsMaxHistBuckets = 1024
+
 // statsEntry locates one group's statistics in the record space.
 type statsEntry struct {
 	start int64 // first record of the group; Rows gives the extent
@@ -112,6 +128,15 @@ type statsCollector struct {
 	bloomMax       int
 	bloomSet       map[uint64]struct{}
 	bloomAbandoned bool
+
+	// Histogram sampling (whole-file collectors only; histMax 0 disables):
+	// a systematic sample of non-null ordered values, kept evenly spaced by
+	// doubling the stride whenever the buffer fills — deterministic by
+	// arrival order, so identical data yields identical file bytes.
+	histMax      int
+	samples      []any
+	sampleStride int64
+	sampleSeen   int64
 }
 
 // newStatsCollector builds a collector cutting groups every `every`
@@ -215,6 +240,9 @@ func (c *statsCollector) observe(v any) {
 				c.bloomAdd(scan.BloomHash(x))
 			}
 		}
+		if c.histMax > 0 && c.minMax {
+			c.histObserve(v)
+		}
 		if c.mapCol {
 			if m, ok := v.(map[string]any); ok {
 				c.cur.HasKeys = true
@@ -250,6 +278,31 @@ func (c *statsCollector) observe(v any) {
 	}
 }
 
+// histObserve feeds one non-null ordered value to the systematic sample.
+// While the buffer has room every stride-th value is kept; when it fills,
+// every other retained sample is dropped and the stride doubles, so the
+// kept positions remain the multiples of the (new) stride. The sample is
+// bounded by histMax values regardless of file size.
+func (c *statsCollector) histObserve(v any) {
+	if c.sampleStride == 0 {
+		c.sampleStride = 1
+	}
+	if c.sampleSeen%c.sampleStride == 0 {
+		if len(c.samples) >= c.histMax {
+			keep := c.samples[:0]
+			for i := 0; i < len(c.samples); i += 2 {
+				keep = append(keep, c.samples[i])
+			}
+			c.samples = keep
+			c.sampleStride *= 2
+		}
+		if c.sampleSeen%c.sampleStride == 0 {
+			c.samples = append(c.samples, copyBound(v))
+		}
+	}
+	c.sampleSeen++
+}
+
 // copyBound deep-copies mutable bound values so later caller mutations
 // cannot corrupt recorded statistics.
 func copyBound(v any) any {
@@ -274,6 +327,18 @@ func (c *statsCollector) cut() {
 		c.cur.Keys = keys
 	}
 	c.cur.Bloom = c.buildBloom()
+	if c.cur.Bloom != nil {
+		// Record the fill fraction at write time: the estimator's
+		// false-positive confidence weight, readable without a popcount
+		// over the decoded filter.
+		c.cur.BloomFill = c.cur.Bloom.FillFraction()
+	}
+	if len(c.samples) > 0 {
+		c.cur.Hist = scan.BuildHistogram(c.samples, statsHistBuckets)
+		c.samples = nil
+		c.sampleSeen = 0
+		c.sampleStride = 0
+	}
 	c.entries = append(c.entries, statsEntry{start: c.curStart, st: c.cur})
 	c.curStart += c.cur.Rows
 	c.cur = scan.ColStats{}
@@ -330,10 +395,15 @@ func newStatsWriter(schema *serde.Schema, every int, noBloom bool) *statsWriter 
 	if noBloom {
 		groupMax, fileMax = 0, 0
 	}
-	return &statsWriter{
+	w := &statsWriter{
 		group: newStatsCollector(schema, every, groupMax),
 		file:  newStatsCollector(schema, 0, fileMax),
 	}
+	// Only the whole-file collector samples for a histogram: its single
+	// entry is what selectivity estimation reads, and group entries stay
+	// lean.
+	w.file.histMax = statsHistSamples
+	return w
 }
 
 func (w *statsWriter) observe(v any) {
@@ -368,22 +438,27 @@ func (w *statsWriter) finish() ([]byte, error) {
 	if len(w.file.entries) != 1 {
 		return nil, fmt.Errorf("colfile: file aggregate collector produced %d entries, want 1", len(w.file.entries))
 	}
-	return appendStatsSectionV3(nil, w.group.schema, &w.file.entries[0].st, w.group.entries)
+	return appendStatsSectionV4(nil, w.group.schema, &w.file.entries[0].st, w.group.entries)
 }
 
-// Stats section encoding (current, "CFS3"; see docs/FORMAT.md for the
+// Stats section encoding (current, "CFS4"; see docs/FORMAT.md for the
 // byte-level specification and lineage):
 //
-//	magic "CFS3"
+//	magic "CFS4"
 //	aggregate entry covering every record in the file
 //	uvarint groupCount
 //	per group entry (same encoding as the aggregate):
 //	  uvarint rows, uvarint nulls, uvarint distinct
 //	  flags byte (hasMinMax | distinctCapped<<1 | hasKeys<<2 |
-//	              keysCapped<<3 | hasBloom<<4)
-//	  [hasMinMax]  len-prefixed serde(min), len-prefixed serde(max)
-//	  [hasKeys]    uvarint keyCount, len-prefixed keys
-//	  [hasBloom]   uvarint k, uvarint wordCount, wordCount x u64 LE words
+//	              keysCapped<<3 | hasBloom<<4 | hasHist<<5 |
+//	              hasBloomFill<<6)
+//	  [hasMinMax]    len-prefixed serde(min), len-prefixed serde(max)
+//	  [hasKeys]      uvarint keyCount, len-prefixed keys
+//	  [hasBloom]     uvarint k, uvarint wordCount, wordCount x u64 LE words
+//	  [hasBloomFill] uvarint fill fraction in 1/10000ths
+//	  [hasHist]      uvarint bucketCount, then per bucket:
+//	                 uvarint count, len-prefixed serde(lo),
+//	                 len-prefixed serde(hi)
 //
 // Group starts are implicit: groups tile the record space in order. The
 // aggregate leads the section so split elision decides a whole file's
@@ -392,14 +467,17 @@ func (w *statsWriter) finish() ([]byte, error) {
 //
 // Lineage, all still parsed: "CFST" (PR 1) holds groups only — consumers
 // derive the aggregate by merging groups; "CFS2" (PR 2) added the leading
-// aggregate; "CFS3" (this PR) added the optional per-entry Bloom filter.
-// A bloom-less CFS3 entry is byte-identical to its CFS2 spelling, so the
-// flag bit is what versions entries — the magic versions the section
-// frame.
+// aggregate; "CFS3" (PR 5) added the optional per-entry Bloom filter;
+// "CFS4" (this PR) added the equi-depth histogram and the filter's
+// recorded fill fraction. An entry using no new feature is byte-identical
+// to its previous-generation spelling, so the flag bits are what version
+// entries — the magic versions the section frame, and each encoder rejects
+// entries carrying features its generation's parsers cannot skip.
 const (
 	statsMagic   = "CFST"
 	statsMagicV2 = "CFS2"
 	statsMagicV3 = "CFS3"
+	statsMagicV4 = "CFS4"
 )
 
 const (
@@ -408,20 +486,38 @@ const (
 	statsFlagHasKeys
 	statsFlagKeysCapped
 	statsFlagBloom
+	statsFlagHist
+	statsFlagBloomFill
 )
 
 // statsMaxBloomWords bounds a decoded filter: the file-level cap in
 // 64-bit words. Anything larger is corruption, not a huge filter.
 const statsMaxBloomWords = bloomMaxFileBytes / 8
 
+// entryFeatureError rejects an entry carrying a feature the given section
+// generation's parsers cannot skip: Bloom filters arrived with CFS3,
+// histograms and recorded fill fractions with CFS4. Encoders for older
+// magics call it so a pre-feature section can never smuggle feature bytes
+// past a pre-feature parser.
+func entryFeatureError(magic string, st *scan.ColStats) error {
+	if st.Bloom != nil && magic != statsMagicV3 && magic != statsMagicV4 {
+		return fmt.Errorf("colfile: %s section cannot carry a Bloom filter", magic)
+	}
+	if (st.Hist != nil || st.BloomFill > 0) && magic != statsMagicV4 {
+		return fmt.Errorf("colfile: %s section cannot carry a histogram or bloom fill fraction", magic)
+	}
+	return nil
+}
+
 // appendStatsSection encodes the legacy groups-only section ("CFST").
 // Only backward-compat tests build it today; the writer emits
-// appendStatsSectionV3. Like the CFS2 encoder, it rejects bloom-bearing
-// entries: pre-bloom sections must stay readable by pre-bloom parsers.
+// appendStatsSectionV4. Like the CFS2 encoder, it rejects entries bearing
+// newer-generation features: pre-feature sections must stay readable by
+// pre-feature parsers.
 func appendStatsSection(dst []byte, schema *serde.Schema, entries []statsEntry) ([]byte, error) {
 	for i := range entries {
-		if entries[i].st.Bloom != nil {
-			return nil, fmt.Errorf("colfile: CFST section cannot carry a Bloom filter")
+		if err := entryFeatureError(statsMagic, &entries[i].st); err != nil {
+			return nil, err
 		}
 	}
 	dst = append(dst, statsMagic...)
@@ -437,24 +533,40 @@ func appendStatsSection(dst []byte, schema *serde.Schema, entries []statsEntry) 
 
 // appendStatsSectionV2 encodes the legacy aggregate-first section
 // ("CFS2"). Only backward-compat tests build it today; entries carrying a
-// Bloom filter would be unreadable by pre-bloom parsers, so this encoder
-// rejects them.
+// Bloom filter (or any later feature) would be unreadable by pre-feature
+// parsers, so this encoder rejects them.
 func appendStatsSectionV2(dst []byte, schema *serde.Schema, agg *scan.ColStats, entries []statsEntry) ([]byte, error) {
-	if agg.Bloom != nil {
-		return nil, fmt.Errorf("colfile: CFS2 section cannot carry a Bloom filter")
+	if err := entryFeatureError(statsMagicV2, agg); err != nil {
+		return nil, err
 	}
 	for i := range entries {
-		if entries[i].st.Bloom != nil {
-			return nil, fmt.Errorf("colfile: CFS2 section cannot carry a Bloom filter")
+		if err := entryFeatureError(statsMagicV2, &entries[i].st); err != nil {
+			return nil, err
 		}
 	}
 	return appendAggSection(dst, statsMagicV2, schema, agg, entries)
 }
 
-// appendStatsSectionV3 encodes the current aggregate-first section
-// ("CFS3") with optional per-entry Bloom filters.
+// appendStatsSectionV3 encodes the legacy bloom-bearing section ("CFS3").
+// It rejects entries carrying CFS4 features (histogram, recorded fill
+// fraction): a CFS3 parser has no way to skip their payloads.
 func appendStatsSectionV3(dst []byte, schema *serde.Schema, agg *scan.ColStats, entries []statsEntry) ([]byte, error) {
+	if err := entryFeatureError(statsMagicV3, agg); err != nil {
+		return nil, err
+	}
+	for i := range entries {
+		if err := entryFeatureError(statsMagicV3, &entries[i].st); err != nil {
+			return nil, err
+		}
+	}
 	return appendAggSection(dst, statsMagicV3, schema, agg, entries)
+}
+
+// appendStatsSectionV4 encodes the current aggregate-first section
+// ("CFS4") with optional per-entry Bloom filters, recorded fill fractions,
+// and equi-depth histograms.
+func appendStatsSectionV4(dst []byte, schema *serde.Schema, agg *scan.ColStats, entries []statsEntry) ([]byte, error) {
+	return appendAggSection(dst, statsMagicV4, schema, agg, entries)
 }
 
 // appendAggSection encodes an aggregate-first section under the given
@@ -495,6 +607,12 @@ func appendStatsEntry(dst []byte, schema *serde.Schema, st *scan.ColStats) ([]by
 	if st.Bloom != nil {
 		flags |= statsFlagBloom
 	}
+	if st.Hist != nil {
+		flags |= statsFlagHist
+	}
+	if st.BloomFill > 0 {
+		flags |= statsFlagBloomFill
+	}
 	dst = append(dst, flags)
 	if st.HasMinMax {
 		for _, bound := range []any{st.Min, st.Max} {
@@ -519,6 +637,31 @@ func appendStatsEntry(dst []byte, schema *serde.Schema, st *scan.ColStats) ([]by
 		dst = binary.AppendUvarint(dst, uint64(len(words)))
 		for _, w := range words {
 			dst = binary.LittleEndian.AppendUint64(dst, w)
+		}
+	}
+	if st.BloomFill > 0 {
+		fill := uint64(st.BloomFill*10000 + 0.5)
+		if fill > 10000 {
+			fill = 10000
+		}
+		if fill == 0 {
+			fill = 1 // a recorded fill is never zero: the flag means "known"
+		}
+		dst = binary.AppendUvarint(dst, fill)
+	}
+	if st.Hist != nil {
+		dst = binary.AppendUvarint(dst, uint64(st.Hist.Buckets()))
+		for i := 0; i < st.Hist.Buckets(); i++ {
+			lo, hi, count := st.Hist.Bucket(i)
+			dst = binary.AppendUvarint(dst, uint64(count))
+			for _, bound := range []any{lo, hi} {
+				enc, err := serde.AppendValue(nil, schema, bound)
+				if err != nil {
+					return nil, fmt.Errorf("colfile: encoding histogram bound: %w", err)
+				}
+				dst = binary.AppendUvarint(dst, uint64(len(enc)))
+				dst = append(dst, enc...)
+			}
 		}
 	}
 	return dst, nil
@@ -588,7 +731,7 @@ func parseStatsHead(blob []byte, schema *serde.Schema) (*scan.ColStats, *statsCu
 	}
 	c := &statsCursor{buf: blob, pos: len(statsMagic)}
 	switch string(blob[:len(statsMagic)]) {
-	case statsMagicV3, statsMagicV2:
+	case statsMagicV4, statsMagicV3, statsMagicV2:
 		var agg scan.ColStats
 		if err := parseStatsEntry(c, schema, &agg); err != nil {
 			return nil, nil, err
@@ -688,6 +831,57 @@ func parseStatsEntry(c *statsCursor, schema *serde.Schema, st *scan.ColStats) er
 		// Invalid geometry (non-power-of-two blocks) yields a nil filter:
 		// the entry stays usable, the filter just refutes nothing.
 		st.Bloom = scan.NewBloomFromWords(int(k), words)
+	}
+	if flags&statsFlagBloomFill != 0 {
+		fill, err := c.uvarint("bloom fill")
+		if err != nil {
+			return err
+		}
+		if fill == 0 || fill > 10000 {
+			return fmt.Errorf("colfile: implausible bloom fill %d/10000", fill)
+		}
+		st.BloomFill = float64(fill) / 10000
+	}
+	if flags&statsFlagHist != 0 {
+		hn, err := c.uvarint("histogram bucket count")
+		if err != nil {
+			return err
+		}
+		if hn == 0 || hn > statsMaxHistBuckets {
+			return fmt.Errorf("colfile: implausible histogram bucket count %d", hn)
+		}
+		los := make([]any, 0, hn)
+		his := make([]any, 0, hn)
+		counts := make([]int64, 0, hn)
+		for j := uint64(0); j < hn; j++ {
+			count, err := c.uvarint("histogram count")
+			if err != nil {
+				return err
+			}
+			if count > rows {
+				return fmt.Errorf("colfile: histogram bucket count %d exceeds rows %d", count, rows)
+			}
+			counts = append(counts, int64(count))
+			for _, dst := range []*[]any{&los, &his} {
+				blen, err := c.uvarint("histogram bound length")
+				if err != nil {
+					return err
+				}
+				enc, err := c.bytes(int(blen), "histogram bound")
+				if err != nil {
+					return err
+				}
+				v, err := serde.NewDecoder(enc, nil).Value(schema)
+				if err != nil {
+					return fmt.Errorf("colfile: decoding histogram bound: %w", err)
+				}
+				*dst = append(*dst, v)
+			}
+		}
+		// Invalid geometry (zero counts, disordered bounds) yields a nil
+		// histogram: the entry stays usable, estimation just falls back to
+		// the uniform model.
+		st.Hist = scan.NewHistogram(los, his, counts)
 	}
 	return nil
 }

@@ -10,21 +10,39 @@ import (
 // The stats-section parser is exposed to on-disk bytes (and, through
 // FileStats, to bytes no reader has validated) and must never panic. The
 // seed corpus covers the full footer lineage — legacy CFST, aggregate-first
-// CFS2, bloom-bearing CFS3 — plus bloom present/absent/saturated entries
-// and truncations of each. Runs under plain `go test`; explores further
-// under `go test -fuzz FuzzStatsSection`.
+// CFS2, bloom-bearing CFS3, histogram-bearing CFS4 — plus bloom and
+// histogram present/absent/degenerate/saturated entries and truncations of
+// each. Runs under plain `go test`; explores further under
+// `go test -fuzz FuzzStatsSection`.
+
+// stripNewerFeatures clones entries without the CFS4-only fields so legacy
+// encoders accept real collector output.
+func stripNewerFeatures(entries []statsEntry) []statsEntry {
+	out := append([]statsEntry(nil), entries...)
+	for i := range out {
+		out[i].st.BloomFill = 0
+		out[i].st.Hist = nil
+	}
+	return out
+}
 
 // fuzzSeedSections builds one valid section per format generation for the
 // given schema, from real collector output.
 func fuzzSeedSections(schema *serde.Schema, gen func(i int) any) ([][]byte, error) {
 	bloomed := newStatsCollector(schema, 20, 1<<10)
 	plain := newStatsCollector(schema, 20, 0)
+	// A whole-file-style collector with histogram sampling on: its single
+	// entry carries the CFS4 features (histogram, recorded fill).
+	full := newStatsCollector(schema, 0, 1<<10)
+	full.histMax = 64
 	for i := 0; i < 100; i++ {
 		bloomed.observe(gen(i))
 		plain.observe(gen(i))
+		full.observe(gen(i))
 	}
 	bloomed.cut()
 	plain.cut()
+	full.cut()
 	var out [][]byte
 	legacy, err := appendStatsSection(nil, schema, plain.entries)
 	if err != nil {
@@ -36,11 +54,17 @@ func fuzzSeedSections(schema *serde.Schema, gen func(i int) any) ([][]byte, erro
 		return nil, err
 	}
 	out = append(out, v2)
-	v3, err := appendStatsSectionV3(nil, schema, mergeEntries(bloomed.entries), bloomed.entries)
+	v3entries := stripNewerFeatures(bloomed.entries)
+	v3, err := appendStatsSectionV3(nil, schema, mergeEntries(stripNewerFeatures(plain.entries)), v3entries)
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, v3)
+	v4, err := appendStatsSectionV4(nil, schema, &full.entries[0].st, bloomed.entries)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, v4)
 	return out, nil
 }
 
@@ -77,6 +101,34 @@ func FuzzStatsSection(f *testing.F) {
 	huge := []byte(statsMagicV3)
 	huge = append(huge, 1, 0, 1, 1<<4, 7, 0xFF, 0xFF, 0xFF, 0x7F)
 	f.Add(huge)
+	// A degenerate CFS4 aggregate: one-bucket histogram whose single bucket
+	// covers one value — the smallest histogram a writer can emit.
+	deg := []byte(statsMagicV4)
+	deg = append(deg, 5, 0, 1) // rows=5 nulls=0 distinct=1
+	deg = append(deg, 1|1<<5)  // flags: minmax + hist
+	lit := func(dst []byte) []byte {
+		// A length-prefixed serde bound, the same spelling appendStatsEntry
+		// uses for min/max and histogram bucket bounds.
+		enc, err := serde.AppendValue(nil, strSchema, "a")
+		if err != nil {
+			f.Fatal(err)
+		}
+		dst = append(dst, byte(len(enc)))
+		return append(dst, enc...)
+	}
+	deg = lit(deg)       // min
+	deg = lit(deg)       // max
+	deg = append(deg, 1) // one bucket
+	deg = append(deg, 5) // bucket count=5
+	deg = lit(deg)       // bucket lo
+	deg = lit(deg)       // bucket hi
+	deg = append(deg, 0) // zero groups
+	f.Add(deg)
+	// Same aggregate with an implausible bucket count (0): must be rejected
+	// or tolerated without panic, never trusted.
+	badHist := []byte(statsMagicV4)
+	badHist = append(badHist, 5, 0, 1, 1<<5, 0xFF, 0xFF, 0x7F)
+	f.Add(badHist)
 	f.Add([]byte("CFS9junk"))
 	f.Add([]byte{})
 
@@ -91,7 +143,7 @@ func FuzzStatsSection(f *testing.F) {
 			// the writer depends on.
 			var blob []byte
 			if agg != nil {
-				blob, err = appendStatsSectionV3(nil, schema, agg, entries)
+				blob, err = appendStatsSectionV4(nil, schema, agg, entries)
 			} else {
 				blob, err = appendStatsSection(nil, schema, entries)
 			}
@@ -110,7 +162,8 @@ func FuzzStatsSection(f *testing.F) {
 			}
 			for i := range again {
 				if again[i].st.Rows != entries[i].st.Rows ||
-					(again[i].st.Bloom == nil) != (entries[i].st.Bloom == nil) {
+					(again[i].st.Bloom == nil) != (entries[i].st.Bloom == nil) ||
+					(again[i].st.Hist == nil) != (entries[i].st.Hist == nil) {
 					t.Fatalf("round trip changed entry %d", i)
 				}
 			}

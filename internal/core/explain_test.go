@@ -1,0 +1,230 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"colmr/internal/hdfs"
+	"colmr/internal/mapred"
+	"colmr/internal/scan"
+	"colmr/internal/serde"
+	"colmr/internal/sim"
+)
+
+// collectS runs the job and returns the sorted "s" values of every matched
+// record — the output identity the planner's cost decisions must preserve.
+func collectS(t *testing.T, fs *hdfs.FileSystem, job *mapred.Job) []string {
+	t.Helper()
+	var mu sync.Mutex
+	var got []string
+	job.Mapper = mapred.MapperFunc(func(_, v any, _ mapred.Emit) error {
+		rec := v.(serde.Record)
+		s, err := rec.Get("s")
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		got = append(got, s.(string))
+		mu.Unlock()
+		return nil
+	})
+	if _, err := mapred.Run(fs, job); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	return got
+}
+
+func sJob(p scan.Predicate) *mapred.Job {
+	return ScanDataset("/e").Columns("s").Where(p).
+		Job(mapred.MapperFunc(func(_, _ any, _ mapred.Emit) error { return nil }))
+}
+
+// TestExplainPlanChoices: the plan picks lazy + auto sizing for a spread
+// selective predicate, eager for a broad one, and the clustered case
+// elides at the scheduler tier before materialization is even at stake.
+func TestExplainPlanChoices(t *testing.T) {
+	fs := hdfs.New(sim.SingleNode(), 1)
+	loadClustered(t, fs, "/e", 1600, 16)
+	model := sim.DefaultModel()
+	in := &InputFormat{}
+
+	// y == 0 matches 10% of every directory: no scheduler elision, low
+	// fraction, many surviving dirs — lazy and auto-sized.
+	job := sJob(scan.Eq("y", int32(0)))
+	plan, err := in.Explain(fs, &job.Conf, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Estimated {
+		t.Fatal("estimation failed over a freshly written dataset")
+	}
+	if plan.SplitsTotal != 16 || plan.SplitsEst != 16 {
+		t.Errorf("splits est %d/%d, want 16/16", plan.SplitsEst, plan.SplitsTotal)
+	}
+	if plan.Fraction < 0.05 || plan.Fraction > 0.2 {
+		t.Errorf("fraction %.4f, want ~0.1", plan.Fraction)
+	}
+	if !plan.Lazy || !plan.AutoSize {
+		t.Errorf("choices lazy=%v auto=%v, want lazy auto for a 10%% spread predicate", plan.Lazy, plan.AutoSize)
+	}
+	if len(plan.Reasons) == 0 || plan.Summary() == "" || plan.String() == "" {
+		t.Error("plan renders nothing")
+	}
+
+	// y <= 7 matches 80% of every row: eager wins.
+	broad, err := in.Explain(fs, &sJob(scan.Le("y", int32(7))).Conf, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broad.Lazy {
+		t.Errorf("broad predicate (fraction %.3f) chose lazy", broad.Fraction)
+	}
+
+	// x <= 50 lives in the first directory only: the scheduler tier elides
+	// the other 15 before the plan ever weighs materialization.
+	clustered, err := in.Explain(fs, &sJob(scan.Le("x", int64(50))).Conf, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clustered.SplitsEst != 1 {
+		t.Errorf("clustered predicate keeps %d splits, want 1", clustered.SplitsEst)
+	}
+	if clustered.AutoSize {
+		t.Error("one surviving directory chose auto sizing")
+	}
+
+	// An unfiltered scan plans eager, constant sizing, full survival.
+	flat, err := in.Explain(fs, &sJob(nil).Conf, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Lazy || flat.AutoSize || flat.SplitsEst != 16 || flat.Fraction != 1 {
+		t.Errorf("unfiltered plan = %+v", flat)
+	}
+}
+
+// TestPlanInvariance: the planner's choices are cost decisions, never
+// correctness ones — the chosen plan and every forced alternative return
+// identical outputs.
+func TestPlanInvariance(t *testing.T) {
+	fs := hdfs.New(sim.SingleNode(), 1)
+	loadClustered(t, fs, "/e", 1600, 16)
+	model := sim.DefaultModel()
+	in := &InputFormat{}
+	pred := scan.Eq("y", int32(3))
+
+	chosen := sJob(pred)
+	plan, err := in.Explain(fs, &chosen.Conf, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Apply(&chosen.Conf)
+	want := collectS(t, fs, chosen)
+	if len(want) == 0 {
+		t.Fatal("chosen plan matched nothing")
+	}
+
+	forced := map[string]*mapred.Job{
+		"eager default":  sJob(pred),
+		"forced lazy":    ScanDataset("/e").Columns("s").Where(pred).Lazy(true).Job(nil),
+		"one dir/split":  ScanDataset("/e").Columns("s").Where(pred).DirsPerSplit(1).Job(nil),
+		"auto dirs":      ScanDataset("/e").Columns("s").Where(pred).DirsPerSplit(AutoDirsPerSplit).Job(nil),
+		"lazy auto dirs": ScanDataset("/e").Columns("s").Where(pred).Lazy(true).DirsPerSplit(AutoDirsPerSplit).Job(nil),
+	}
+	for name, job := range forced {
+		got := collectS(t, fs, job)
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Errorf("%s: %d rows differ from the chosen plan's %d", name, len(got), len(want))
+		}
+	}
+}
+
+// TestExplainReportAccuracy: for clustered uniform data the pre-run
+// estimates land on the actuals — the report renders both, and the
+// scheduler-tier numbers agree exactly.
+func TestExplainReportAccuracy(t *testing.T) {
+	fs := hdfs.New(sim.SingleNode(), 1)
+	loadClustered(t, fs, "/e", 1600, 16)
+	model := sim.DefaultModel()
+	in := &InputFormat{}
+
+	job := sJob(scan.Le("x", int64(50)))
+	plan, err := in.Explain(fs, &job.Conf, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Apply(&job.Conf)
+	res, err := mapred.Run(fs, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actualKept := res.Plan.SplitsTotal - res.Plan.SplitsPruned
+	if plan.SplitsEst != actualKept {
+		t.Errorf("estimated %d surviving splits, actual %d", plan.SplitsEst, actualKept)
+	}
+	truth := float64(res.Total.RecordsProcessed)
+	if plan.RowsEst < truth*0.5 || plan.RowsEst > truth*2+10 {
+		t.Errorf("estimated %.0f rows vs %d matched", plan.RowsEst, res.Total.RecordsProcessed)
+	}
+	report := plan.Report(res, model)
+	for _, want := range []string{"estimated", "actual", "scheduler", "records", "modeled"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report lacks %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestBatchAdmissionDeclines: a shared run pairing a highly selective
+// member with an unfiltered one is split by cost-based admission (the
+// union would run at fraction 1), the declines are reported, and every
+// member's output still matches its solo run. Compatible members keep
+// batching with zero declines.
+func TestBatchAdmissionDeclines(t *testing.T) {
+	fs := hdfs.New(sim.SingleNode(), 1)
+	loadClustered(t, fs, "/e", 1600, 16)
+
+	eJob := func(p scan.Predicate) *mapred.Job {
+		return ScanDataset("/e").Columns("s").Where(p).Elide(false).
+			Job(mapred.MapperFunc(func(_, _ any, _ mapred.Emit) error { return nil }))
+	}
+	selective := scan.Eq("y", int32(0))
+	solo := make([]int64, 2)
+	for i, p := range []scan.Predicate{selective, nil} {
+		res, err := mapred.Run(fs, eJob(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo[i] = res.Total.RecordsProcessed
+	}
+
+	br, err := mapred.RunBatch(fs, eJob(selective), eJob(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Declined == 0 {
+		t.Error("selective + unfiltered batch declined no admissions")
+	}
+	for i, res := range br.Results {
+		if res.Total.RecordsProcessed != solo[i] {
+			t.Errorf("member %d matched %d batched, %d solo", i, res.Total.RecordsProcessed, solo[i])
+		}
+		if i == 0 && res.Plan.SharedDeclined == 0 {
+			t.Error("selective member reports no declined admissions")
+		}
+	}
+
+	// Two similar broad predicates stay co-admitted.
+	br, err = mapred.RunBatch(fs, eJob(scan.Le("y", int32(5))), eJob(scan.Le("y", int32(7))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Declined != 0 {
+		t.Errorf("compatible members declined %d admissions", br.Declined)
+	}
+	if br.SharedTasks == 0 {
+		t.Error("compatible members shared no tasks")
+	}
+}

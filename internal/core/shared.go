@@ -44,7 +44,10 @@ import (
 // (scheduler-tier elision with each job's own predicate) followed by
 // co-scheduling. Directories surviving for the same member set are merged
 // into shared splits in global directory order, so each member's record
-// order across the batch equals its solo split order.
+// order across the batch equals its solo split order. Each run then passes
+// cost-based admission (admitRun): members whose union predicate would
+// destroy a selective member's pruning are split into separate shared
+// groups, with the declined pairings counted in each member's PruneReport.
 func (f *InputFormat) SharedSplits(fs *hdfs.FileSystem, confs []*mapred.JobConf) ([]mapred.SharedSplit, []scan.PruneReport, error) {
 	reports := make([]scan.PruneReport, len(confs))
 	plans := make([]dirPlan, len(confs))
@@ -97,35 +100,124 @@ func (f *InputFormat) SharedSplits(fs *hdfs.FileSystem, confs []*mapred.JobConf)
 				j++
 			}
 			run := dirs[i:j]
-			runPreds := make([]scan.Predicate, len(ms))
-			for k, m := range ms {
-				runPreds[k] = plans[m].pred
-			}
-			union := scan.NewUnion(runPreds)
-			// The run's task sizing follows the first member's resolved
-			// directories-per-split (and its bloom setting, which only
-			// sharpens the estimate); the batch scheduler only groups jobs
-			// whose sizing agrees.
-			per := f.splitSize(fs, plans[ms[0]].dps, union.Shared, plans[ms[0]].bloom, run)
-			cols := unionColumns(plans, ms)
-			for a := 0; a < len(run); a += per {
-				b := a + per
-				if b > len(run) {
-					b = len(run)
+			// Cost-based admission: split the member set into clusters whose
+			// union predicates keep each member's pruning intact. Declined
+			// pairings are reported per member (a member in a cluster of c
+			// lost len(ms)-c potential co-scan partners).
+			for _, cl := range f.admitRun(fs, plans, ms, run) {
+				if declined := len(ms) - len(cl); declined > 0 {
+					for _, m := range cl {
+						reports[m].SharedDeclined += declined
+					}
 				}
-				dels := make([]string, b-a)
-				for di, dir := range run[a:b] {
-					dels[di] = delOf[dir]
+				runPreds := make([]scan.Predicate, len(cl))
+				for k, m := range cl {
+					runPreds[k] = plans[m].pred
 				}
-				out = append(out, mapred.SharedSplit{
-					Split:   &Split{Dirs: run[a:b], Dels: dels, Columns: cols, Judged: true},
-					Members: append([]int(nil), ms...),
-				})
+				union := scan.NewUnion(runPreds)
+				// The cluster's task sizing follows its first member's
+				// resolved directories-per-split (and its bloom setting,
+				// which only sharpens the estimate); the batch scheduler only
+				// groups jobs whose sizing agrees.
+				per := f.splitSize(fs, plans[cl[0]].dps, union.Shared, plans[cl[0]].bloom, run)
+				cols := unionColumns(plans, cl)
+				for a := 0; a < len(run); a += per {
+					b := a + per
+					if b > len(run) {
+						b = len(run)
+					}
+					dels := make([]string, b-a)
+					for di, dir := range run[a:b] {
+						dels[di] = delOf[dir]
+					}
+					out = append(out, mapred.SharedSplit{
+						Split:   &Split{Dirs: run[a:b], Dels: dels, Columns: cols, Judged: true},
+						Members: append([]int(nil), cl...),
+					})
+				}
 			}
 			i = j
 		}
 	}
 	return out, reports, nil
+}
+
+// admitRun partitions a run's member set into co-admission clusters:
+// greedily, in member order, a member joins the first cluster whose
+// widened union predicate stays scan.AdmissionCompatible with the
+// cluster's most selective member, else opens its own. Splitting the set
+// never changes any member's output or logical counters (each member's
+// replay accounting is solo-exact regardless of co-members) — only which
+// cursor sets are shared — so admission is purely a cost decision. When
+// selectivity estimation fails for any member, the whole set stays one
+// cluster, which is the pre-cost-model behavior.
+func (f *InputFormat) admitRun(fs *hdfs.FileSystem, plans []dirPlan, ms []int, run []string) [][]int {
+	if len(ms) < 2 {
+		return [][]int{ms}
+	}
+	fracs := make(map[int]float64, len(ms))
+	for _, m := range ms {
+		fr := 1.0
+		if plans[m].pred != nil {
+			var ok bool
+			if fr, ok = runFraction(fs, run, plans[m].pred, plans[m].bloom); !ok {
+				return [][]int{ms}
+			}
+		}
+		fracs[m] = fr
+	}
+	var clusters [][]int
+	for _, m := range ms {
+		placed := false
+		for ci, cl := range clusters {
+			cand := append(append([]int(nil), cl...), m)
+			preds := make([]scan.Predicate, len(cand))
+			minFrac := 1.0
+			for k, cm := range cand {
+				preds[k] = plans[cm].pred
+				if fracs[cm] < minFrac {
+					minFrac = fracs[cm]
+				}
+			}
+			// A nil union predicate means some candidate member takes every
+			// record: the shared cursors run unfiltered.
+			uf := 1.0
+			if u := scan.NewUnion(preds); u.Shared != nil {
+				var ok bool
+				if uf, ok = runFraction(fs, run, u.Shared, plans[cand[0]].bloom); !ok {
+					uf = 1.0
+				}
+			}
+			if scan.AdmissionCompatible(uf, minFrac) {
+				clusters[ci] = cand
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, []int{m})
+		}
+	}
+	return clusters
+}
+
+// runFraction estimates the qualifying fraction of pred over a run of
+// split-directories from footer statistics, false when any directory
+// cannot be estimated.
+func runFraction(fs *hdfs.FileSystem, dirs []string, pred scan.Predicate, bloom bool) (float64, bool) {
+	var rows, est float64
+	for _, dir := range dirs {
+		r, e, ok := estimateDirMatches(fs, dir, pred, bloom)
+		if !ok {
+			return 0, false
+		}
+		rows += r
+		est += e
+	}
+	if rows == 0 {
+		return 0, false
+	}
+	return est / rows, true
 }
 
 // sameMembers reports whether two (sorted, append-ordered) member lists are

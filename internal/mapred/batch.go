@@ -49,6 +49,11 @@ type BatchResult struct {
 	SharedTasks int
 	// Groups is the number of co-scheduled job groups.
 	Groups int
+	// Declined is the number of shared-scan admissions the cost model
+	// declined across the batch: potential co-scan pairings whose union
+	// predicate would have destroyed a member's pruning, summed over every
+	// job's PruneReport.SharedDeclined.
+	Declined int
 }
 
 // ChargedBytes is the batch's total charged traffic: shared cursors once,
@@ -89,6 +94,11 @@ type Engine struct {
 
 // NewEngine returns an engine over the filesystem.
 func NewEngine(fs *hdfs.FileSystem) *Engine { return &Engine{fs: fs} }
+
+// FS returns the filesystem the engine runs over, for callers (like the
+// scan server's EXPLAIN path) that plan against the same data the engine
+// will scan.
+func (e *Engine) FS() *hdfs.FileSystem { return e.fs }
 
 // PendingJob is a handle to a submitted job; its result becomes available
 // after the Engine.Wait that ran it.
@@ -301,6 +311,7 @@ func runGroup(fs *hdfs.FileSystem, jobs []*Job, idx []int, sif SharedInputFormat
 
 	for k, i := range idx {
 		res := &Result{Plan: reports[k]}
+		br.Declined += reports[k].SharedDeclined
 		var outs []*taskOutput
 		for t, sp := range shSplits {
 			pos := memberPos(sp.Members, k)

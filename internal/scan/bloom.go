@@ -202,6 +202,18 @@ func (b *Bloom) MayContainValue(v any) bool {
 	return true
 }
 
+// FillFraction returns the fraction of the filter's bits that are set, in
+// [0, 1]. The expected false-positive probability of a probe is roughly
+// fill^K, which is what confidence-weighted selectivity estimation reads:
+// a filter near the saturation bound answers "maybe" so often that a
+// positive probe carries little information. Zero for a nil filter.
+func (b *Bloom) FillFraction() float64 {
+	if b == nil || len(b.words) == 0 {
+		return 0
+	}
+	return float64(b.setBits()) / float64(len(b.words)*64)
+}
+
 // setBits counts the filter's one bits.
 func (b *Bloom) setBits() int {
 	n := 0

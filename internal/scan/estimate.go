@@ -1,5 +1,7 @@
 package scan
 
+import "math"
+
 // Selectivity estimation for plan costing. The scheduler tier reads each
 // split-directory's whole-file aggregate statistics (Rows, Nulls, Min/Max,
 // Distinct, key universe) before any task exists; estimating match counts
@@ -124,18 +126,21 @@ func estimateCmp(q *cmpPred, stats StatsFunc) float64 {
 	vals := valueFraction(st)
 	switch q.op {
 	case OpEq:
-		if st.Distinct > 0 {
-			// With DistinctCapped the count is a lower bound, so 1/Distinct
-			// stays an upper bound on the uniform per-value fraction —
-			// exactly the conservative direction for merging tasks.
-			return vals / float64(st.Distinct)
-		}
-		return vals * defaultEqFraction
+		return vals * eqFraction(st, q.lit) * bloomConfidence(st, q.lit)
 	case OpNe:
-		if st.Distinct > 0 {
-			return vals * (1 - 1/float64(st.Distinct))
+		return vals * (1 - eqFraction(st, q.lit))
+	}
+	// Inequalities: the histogram's cumulative fraction when one exists
+	// (degenerate buckets make <= vs < matter on heavy values), else
+	// uniform interpolation across [Min, Max].
+	if h := st.Hist; h != nil {
+		inclusive := q.op == OpLe || q.op == OpGt // f(<=v); Gt complements it
+		if below, ok := h.FractionBelow(q.lit, inclusive); ok {
+			if q.op == OpLt || q.op == OpLe {
+				return vals * below
+			}
+			return vals * (1 - below)
 		}
-		return vals * (1 - defaultEqFraction)
 	}
 	if below, ok := fractionBelow(st, q.lit); ok {
 		switch q.op {
@@ -148,10 +153,77 @@ func estimateCmp(q *cmpPred, stats StatsFunc) float64 {
 	return vals * defaultRangeFraction
 }
 
+// eqFraction estimates the fraction of the column's *non-null* values equal
+// to lit. The histogram answers exactly (up to sampling error) when lit sits
+// in a degenerate bucket or outside every bucket; otherwise the uniform
+// 1/Distinct model applies, capped by the containing bucket's mass (a value
+// that is not a heavy hitter cannot exceed its bucket). The divide is
+// guarded: Distinct can legitimately be 0 or unset (all-null groups, legacy
+// footers, synthetic statistics carrying only a Bloom filter), and 0/0 NaN
+// here would poison every cost decision downstream.
+func eqFraction(st *ColStats, lit any) float64 {
+	if h := st.Hist; h != nil {
+		if f, exact := h.EqFraction(lit); exact {
+			return f
+		}
+	}
+	base := defaultEqFraction
+	if st.Distinct > 0 {
+		// With DistinctCapped the count is a lower bound, so 1/Distinct
+		// stays an upper bound on the uniform per-value fraction —
+		// exactly the conservative direction for merging tasks.
+		base = 1 / float64(st.Distinct)
+	}
+	if h := st.Hist; h != nil {
+		if cap, ok := h.EqCap(lit); ok && cap < base {
+			base = cap
+		}
+	}
+	return base
+}
+
+// bloomConfidence weights a bloom-positive equality estimate by the
+// filter's observed false-positive confidence. Prune already turned
+// bloom-negative probes into exact zeros before estimation runs, so a
+// probed literal reaching here tested positive; under even prior odds that
+// the literal is genuinely present, a positive probe confirms presence
+// with probability 1/(1+fpp), where fpp ~ fill^K is the filter's expected
+// false-positive rate at its recorded (or counted) fill fraction. A crisp
+// filter (fpp ~ 0) keeps the full estimate; a filter at the saturation
+// bound (fpp ~ 0.13) discounts it toward the coin flip its answer is
+// worth. Returns 1 whenever there is no filter, the literal is not a byte
+// string the filter covers, or the fill is unknown.
+func bloomConfidence(st *ColStats, lit any) float64 {
+	if st.Bloom == nil {
+		return 1
+	}
+	switch lit.(type) {
+	case string, []byte:
+	default:
+		return 1
+	}
+	fill := st.BloomFill
+	if fill <= 0 {
+		fill = st.Bloom.FillFraction()
+	}
+	if fill <= 0 || fill >= 1 {
+		return 1
+	}
+	fpp := math.Pow(fill, float64(st.Bloom.K()))
+	return 1 / (1 + fpp)
+}
+
 func estimateRange(q *rangePred, stats StatsFunc) float64 {
 	st := stats(q.col)
 	if st == nil || st.Rows == 0 {
 		return defaultRangeFraction
+	}
+	if h := st.Hist; h != nil {
+		lo, okLo := h.FractionBelow(q.lo, false)
+		hi, okHi := h.FractionBelow(q.hi, true)
+		if okLo && okHi {
+			return valueFraction(st) * clampFraction(hi-lo)
+		}
 	}
 	lo, okLo := fractionBelow(st, q.lo)
 	hi, okHi := fractionBelow(st, q.hi)

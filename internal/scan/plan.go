@@ -1,0 +1,106 @@
+package scan
+
+import "fmt"
+
+// Cost-based plan choice. The estimator (estimate.go) turns footer
+// statistics into a qualifying fraction; ChoosePlan turns that fraction
+// into the two execution decisions the engine leaves open per job —
+// materialization mode and task sizing — and AdmissionCompatible gates a
+// third made by the batch scheduler (shared-scan co-admission). All three
+// are cost decisions, never correctness ones: every choice produces
+// byte-identical output to its forced alternative, which is what the
+// planning property tests pin down.
+
+const (
+	// lazyFractionCutoff is the estimated qualifying fraction below which
+	// lazy record construction wins: with few matches, skipping the
+	// non-filter columns past non-qualifying records saves more than the
+	// per-access indirection costs on the matches. Above it, eager
+	// materialization's streaming decode is cheaper. The paper's Section 5
+	// experiments put the crossover well above this; 0.25 keeps the choice
+	// conservative (eager is the safer default at mid selectivities).
+	lazyFractionCutoff = 0.25
+
+	// admissionFactor and admissionSlack bound shared-scan co-admission:
+	// a candidate batch's union predicate may be at most admissionFactor
+	// times less selective than its most selective member (plus slack for
+	// fractions near zero). Beyond that, sharing one cursor set would
+	// destroy the selective member's pruning — the shared scan runs at the
+	// union's selectivity — and the member is better served by its own
+	// task.
+	admissionFactor = 8.0
+	admissionSlack  = 0.02
+)
+
+// PlanInputs is what the cost model knows about one job's scan before it
+// runs, gathered from whole-file footer statistics.
+type PlanInputs struct {
+	// HasPredicate reports whether the scan is selective at all.
+	HasPredicate bool
+	// Fraction is the estimated qualifying fraction over the surviving
+	// split-directories, in [0, 1]. Meaningful only when Estimated.
+	Fraction float64
+	// Estimated reports whether real statistics informed Fraction; false
+	// means estimation failed (no footers, no stats sections) and every
+	// cost decision falls back to its default.
+	Estimated bool
+	// Dirs is the number of split-directories surviving the scheduler
+	// tier.
+	Dirs int
+}
+
+// PlanChoice is the planner's recommendation: the materialization mode and
+// whether task sizing should follow estimated selectivity
+// (core.AutoDirsPerSplit). Reasons records why, one line per decision, in
+// the order decided — the "why" surface of EXPLAIN.
+type PlanChoice struct {
+	Lazy     bool
+	AutoSize bool
+	Reasons  []string
+}
+
+// ChoosePlan makes the cost-based execution choices for one job. It is
+// pure: same inputs, same choice — which is what makes planner decisions
+// testable against their forced alternatives.
+func ChoosePlan(in PlanInputs) PlanChoice {
+	var c PlanChoice
+	if !in.HasPredicate {
+		c.Reasons = append(c.Reasons,
+			"no predicate: eager materialization (every record is consumed) and constant task sizing")
+		return c
+	}
+	if !in.Estimated {
+		c.Reasons = append(c.Reasons,
+			"no usable statistics: eager materialization and constant task sizing (estimation failed)")
+		return c
+	}
+	if in.Fraction <= lazyFractionCutoff {
+		c.Lazy = true
+		c.Reasons = append(c.Reasons, fmt.Sprintf(
+			"estimated fraction %.4f <= %.2f: lazy materialization skips non-filter columns past non-matches",
+			in.Fraction, lazyFractionCutoff))
+	} else {
+		c.Reasons = append(c.Reasons, fmt.Sprintf(
+			"estimated fraction %.4f > %.2f: eager materialization streams cheaper than per-access laziness",
+			in.Fraction, lazyFractionCutoff))
+	}
+	if in.Dirs > 1 {
+		c.AutoSize = true
+		c.Reasons = append(c.Reasons, fmt.Sprintf(
+			"%d surviving split-directories: auto task sizing merges ~rows/matches directories per map task",
+			in.Dirs))
+	} else {
+		c.Reasons = append(c.Reasons,
+			"at most one surviving split-directory: task sizing has nothing to merge")
+	}
+	return c
+}
+
+// AdmissionCompatible decides shared-scan co-admission: whether a batch
+// whose union predicate is estimated to match unionFrac of the rows may
+// admit a member whose own estimate is memberMin (the most selective
+// member's fraction). Incompatible members run in their own shared group
+// rather than behind a cursor set whose union would destroy their pruning.
+func AdmissionCompatible(unionFrac, memberMin float64) bool {
+	return unionFrac <= admissionFactor*memberMin+admissionSlack
+}

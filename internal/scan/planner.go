@@ -217,6 +217,11 @@ type PruneReport struct {
 	// batch-at-a-time vector evaluation, or the record-at-a-time scalar
 	// loop (predicate-less scans and Spec.NoVec both report false).
 	Vectorized bool
+	// SharedDeclined counts co-scheduling admissions the batch scheduler
+	// declined for this job: potential co-members whose union predicate
+	// would have destroyed the batch's pruning (AdmissionCompatible said
+	// no), summed over the job's shared runs. Zero for solo runs.
+	SharedDeclined int
 }
 
 // String renders a one-line summary.
@@ -225,6 +230,10 @@ func (r PruneReport) String() string {
 	if r.Vectorized {
 		exec = "vectorized"
 	}
-	return fmt.Sprintf("scheduled %d of %d split-directories (%d pruned by file statistics, %d footers read), %s execution",
+	s := fmt.Sprintf("scheduled %d of %d split-directories (%d pruned by file statistics, %d footers read), %s execution",
 		r.SplitsTotal-r.SplitsPruned, r.SplitsTotal, r.SplitsPruned, r.FilesChecked, exec)
+	if r.SharedDeclined > 0 {
+		s += fmt.Sprintf(", %d shared-scan admissions declined", r.SharedDeclined)
+	}
+	return s
 }

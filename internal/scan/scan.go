@@ -62,6 +62,17 @@ type ColStats struct {
 	// (older footers, non-bloomed kinds, or a filter dropped for
 	// saturation) and refutes nothing.
 	Bloom *Bloom
+	// BloomFill is the filter's fill fraction recorded at write time (CFS4
+	// sections), in (0, 1]; 0 means unrecorded, and estimation falls back
+	// to counting the decoded filter's bits. It weights bloom-positive
+	// equality estimates by the filter's false-positive confidence.
+	BloomFill float64
+	// Hist is an optional equi-depth histogram over the group's non-null
+	// values (CFS4 file-level aggregates). nil means no histogram: range
+	// and equality estimation fall back to the uniform-spread model.
+	// Histograms never participate in pruning — they are built from a
+	// sample and prove nothing.
+	Hist *Histogram
 }
 
 // HasKey reports whether the group's key universe contains key. It is only
@@ -107,6 +118,8 @@ func (s *ColStats) Merge(o *ColStats) {
 		s.HasKeys, s.KeysCapped = o.HasKeys, o.KeysCapped
 		s.Keys = append([]string(nil), o.Keys...)
 		s.Bloom = o.Bloom.Clone()
+		s.BloomFill = o.BloomFill
+		s.Hist = o.Hist // histograms are immutable once built
 	default:
 		if s.HasMinMax && o.HasMinMax {
 			if c, ok := CompareValues(o.Min, s.Min); ok && c < 0 {
@@ -134,6 +147,11 @@ func (s *ColStats) Merge(o *ColStats) {
 		// is how per-group filters roll up into the whole-file aggregate
 		// that split elision reads.
 		s.Bloom = mergeBlooms(s.Bloom, o.Bloom)
+		s.BloomFill = s.Bloom.FillFraction()
+		// Two histograms over different row sets cannot be merged without
+		// resampling (bucket boundaries disagree); degrade to "no
+		// histogram" and let estimation fall back to the uniform model.
+		s.Hist = nil
 	}
 }
 

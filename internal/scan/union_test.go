@@ -1,6 +1,10 @@
 package scan
 
-import "testing"
+import (
+	"fmt"
+	"math"
+	"testing"
+)
 
 func TestUnionSharedIsOrOfDistinct(t *testing.T) {
 	a := Le("int0", 100)
@@ -92,6 +96,77 @@ func TestEstimateFraction(t *testing.T) {
 		if f < c.lo || f > c.hi {
 			t.Errorf("EstimateFraction(%s) = %.3f, want in [%.2f, %.2f]", name, f, c.lo, c.hi)
 		}
+	}
+}
+
+// TestEstimateEqZeroDistinct: legacy aggregates (CFST, minimal CFS2) carry
+// no distinct count, so the 1/Distinct uniform guess must be guarded — the
+// estimate falls back to defaultEqFraction and never divides by zero,
+// including on the bloom-positive path where the guess is then weighted by
+// filter confidence.
+func TestEstimateEqZeroDistinct(t *testing.T) {
+	b := NewBloomSized(10, 1<<12)
+	for i := 0; i < 10; i++ {
+		b.AddHash(BloomHashString(fmt.Sprintf("k-%d", i)))
+	}
+	cases := []struct {
+		name string
+		st   *ColStats
+	}{
+		{"no bloom", &ColStats{Rows: 1000}},
+		{"bloom, counted fill", &ColStats{Rows: 1000, HasMinMax: true, Min: "a", Max: "z", Bloom: b}},
+		{"bloom, recorded fill", &ColStats{Rows: 1000, HasMinMax: true, Min: "a", Max: "z", Bloom: b, BloomFill: 0.05}},
+	}
+	for _, c := range cases {
+		stats := func(string) *ColStats { return c.st }
+		f := EstimateFraction(Eq("s", "k-3"), stats)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Fatalf("%s: EstimateFraction = %v", c.name, f)
+		}
+		if f <= 0 || f > defaultEqFraction {
+			t.Errorf("%s: EstimateFraction = %v, want in (0, %v]", c.name, f, defaultEqFraction)
+		}
+	}
+}
+
+// TestEstimateEqBloomConfidence: a bloom-negative equality estimates to an
+// exact zero (pruning consistency), and a positive one is discounted by the
+// filter's recorded fill — a saturated filter's answer is worth less than a
+// crisp one's.
+func TestEstimateEqBloomConfidence(t *testing.T) {
+	b := NewBloomSized(10, 1<<12)
+	for i := 0; i < 10; i++ {
+		b.AddHash(BloomHashString(fmt.Sprintf("k-%d", i)))
+	}
+	// Any small filter has false positives; probe until a key tests
+	// genuinely negative so the zero assertion is about estimation, not
+	// filter luck.
+	absent := ""
+	for i := 0; i < 1000; i++ {
+		if k := fmt.Sprintf("absent-%d", i); !b.MayContainString(k) {
+			absent = k
+			break
+		}
+	}
+	if absent == "" {
+		t.Fatal("no negative probe found in 1000 tries")
+	}
+	if f := EstimateFraction(Eq("s", absent), func(string) *ColStats {
+		return &ColStats{Rows: 1000, Distinct: 10, HasMinMax: true, Min: "a", Max: "z", Bloom: b}
+	}); f != 0 {
+		t.Errorf("bloom-negative equality estimates %v, want 0", f)
+	}
+	crisp := EstimateFraction(Eq("s", "k-3"), func(string) *ColStats {
+		return &ColStats{Rows: 1000, Distinct: 10, HasMinMax: true, Min: "a", Max: "z", Bloom: b, BloomFill: 0.05}
+	})
+	saturated := EstimateFraction(Eq("s", "k-3"), func(string) *ColStats {
+		return &ColStats{Rows: 1000, Distinct: 10, HasMinMax: true, Min: "a", Max: "z", Bloom: b, BloomFill: 0.95}
+	})
+	if crisp <= 0 || saturated <= 0 {
+		t.Fatalf("positive probes estimate crisp=%v saturated=%v, want > 0", crisp, saturated)
+	}
+	if saturated >= crisp {
+		t.Errorf("saturated filter estimate %v not discounted below crisp %v", saturated, crisp)
 	}
 }
 

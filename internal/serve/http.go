@@ -29,6 +29,9 @@ type HandlerOptions struct {
 	Default string
 	// MaxLimit caps the rows a single query may return (default 100).
 	MaxLimit int
+	// AlwaysExplain attaches the EXPLAIN report to every query response,
+	// as if each request had set Explain (the colserve -explain flag).
+	AlwaysExplain bool
 }
 
 // QueryRequest is the POST /query body. Where uses the scan expression
@@ -47,6 +50,11 @@ type QueryRequest struct {
 	// Limit asks for up to this many matching rows in the response;
 	// 0 returns counts and statistics only.
 	Limit int `json:"limit,omitempty"`
+	// Explain attaches the cost-based plan — and, after the run, the
+	// estimated-vs-actual pruning per tier — to the response. The plan's
+	// choices (materialization mode, task sizing) are also applied to the
+	// job where the request left them unpinned.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // QueryStats carries the query's solo-exact logical pruning counters, plus
@@ -90,6 +98,33 @@ type QueryResponse struct {
 	// Serve is the serving-side account: batch membership, window wait,
 	// modeled run time, attributed charged bytes and sharing savings.
 	Serve Report `json:"serve"`
+	// Explain is present when the request asked for it (or the handler
+	// runs with AlwaysExplain): the cost-based plan and its
+	// estimated-vs-actual accounting.
+	Explain *ExplainReport `json:"explain,omitempty"`
+}
+
+// ExplainReport is the JSON rendering of a query's cost-based plan next to
+// what actually happened — the serving-side face of `colscan -explain`.
+type ExplainReport struct {
+	// Plan is the one-line plan summary; Reasons records why each choice
+	// fell the way it did.
+	Plan    string   `json:"plan"`
+	Reasons []string `json:"reasons,omitempty"`
+	// Scheduler tier: split-directories listed, estimated to survive
+	// footer pruning, and actually scanned.
+	SplitsTotal     int `json:"splitsTotal"`
+	SplitsEstimated int `json:"splitsEstimated"`
+	SplitsScanned   int `json:"splitsScanned"`
+	// Record tier: estimated qualifying rows next to the matched count.
+	RowsEstimated float64 `json:"rowsEstimated"`
+	RowsMatched   int64   `json:"rowsMatched"`
+	// Modeled seconds for the plan next to the run's modeled actual.
+	EstimatedSeconds float64 `json:"estimatedSeconds"`
+	ActualSeconds    float64 `json:"actualSeconds"`
+	// SharedDeclined counts co-scan admissions the cost model declined for
+	// this query (shared-batch path only).
+	SharedDeclined int `json:"sharedDeclined,omitempty"`
 }
 
 type httpHandler struct {
@@ -250,6 +285,20 @@ func (h *httpHandler) query(w http.ResponseWriter, r *http.Request) {
 		}))
 	}
 
+	var plan *core.QueryPlan
+	if req.Explain || h.opts.AlwaysExplain {
+		if cif, ok := job.Input.(*core.InputFormat); ok {
+			var err error
+			if plan, err = cif.Explain(h.srv.FS(), &job.Conf, h.srv.Model()); err != nil {
+				writeError(w, http.StatusInternalServerError, "explain: %v", err)
+				return
+			}
+			// The plan's choices become the job's where the request left
+			// them unpinned, so the response explains the scan that ran.
+			plan.Apply(&job.Conf)
+		}
+	}
+
 	ticket, err := h.srv.Enqueue(tenant, job)
 	if err != nil {
 		status := http.StatusBadRequest
@@ -299,6 +348,20 @@ func (h *httpHandler) query(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		resp.Rows = collector.sorted()
+	}
+	if plan != nil {
+		resp.Explain = &ExplainReport{
+			Plan:             plan.Summary(),
+			Reasons:          plan.Reasons,
+			SplitsTotal:      plan.SplitsTotal,
+			SplitsEstimated:  plan.SplitsEst,
+			SplitsScanned:    res.Plan.SplitsTotal - res.Plan.SplitsPruned,
+			RowsEstimated:    plan.RowsEst,
+			RowsMatched:      res.Total.RecordsProcessed,
+			EstimatedSeconds: plan.EstSeconds,
+			ActualSeconds:    h.srv.Model().ScanSeconds(res.Total),
+			SharedDeclined:   res.Plan.SharedDeclined,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

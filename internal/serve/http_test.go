@@ -224,3 +224,53 @@ func TestHTTPServeStatsAndHealth(t *testing.T) {
 		t.Errorf("healthz %v", hz)
 	}
 }
+
+// TestHTTPServeExplain: opting in via the request's explain flag attaches a
+// plan report whose estimated numbers sit alongside the actuals, and queries
+// that don't ask get no report.
+func TestHTTPServeExplain(t *testing.T) {
+	srv, ts := svHTTP(t)
+	defer srv.Close()
+
+	resp, body := svPost(t, ts, serve.QueryRequest{
+		Tenant:  "web",
+		Where:   `t <= 50`,
+		Columns: []string{"s"},
+		Explain: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr serve.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	ex := qr.Explain
+	if ex == nil {
+		t.Fatalf("explain requested but absent: %s", body)
+	}
+	if ex.Plan == "" || len(ex.Reasons) == 0 {
+		t.Errorf("empty plan rendering: %+v", ex)
+	}
+	if ex.SplitsTotal <= 0 || ex.SplitsScanned > ex.SplitsTotal {
+		t.Errorf("split accounting %d scanned of %d total", ex.SplitsScanned, ex.SplitsTotal)
+	}
+	if ex.RowsMatched != 51 {
+		t.Errorf("rowsMatched %d, want 51", ex.RowsMatched)
+	}
+	if ex.RowsEstimated <= 0 {
+		t.Errorf("rowsEstimated %v, want > 0", ex.RowsEstimated)
+	}
+	if ex.EstimatedSeconds <= 0 || ex.ActualSeconds <= 0 {
+		t.Errorf("modeled seconds est=%v actual=%v, want both > 0", ex.EstimatedSeconds, ex.ActualSeconds)
+	}
+
+	// Without the flag the field stays absent (and off the wire).
+	resp, body = svPost(t, ts, serve.QueryRequest{Where: `t <= 50`})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if bytes.Contains(body, []byte(`"explain"`)) {
+		t.Errorf("unrequested explain on the wire: %s", body)
+	}
+}

@@ -177,6 +177,14 @@ func New(fs *hdfs.FileSystem, opts Options) *Server {
 // Invalidate after dataset reloads).
 func (s *Server) Session() *mapred.Session { return s.session }
 
+// FS returns the filesystem the server scans, for planning (EXPLAIN)
+// against the same data the queued jobs will run over.
+func (s *Server) FS() *hdfs.FileSystem { return s.session.FS() }
+
+// Model returns the server's cost model — the one its reports price scans
+// with, so EXPLAIN estimates and serving reports share units.
+func (s *Server) Model() sim.CostModel { return s.model }
+
 // Committer is a streaming writer that announces manifest commits —
 // structurally, ingest.Ingester. Each callback receives the committed
 // generation and the directories that commit retired, and runs on the

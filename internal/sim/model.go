@@ -255,6 +255,20 @@ func (m CostModel) TotalTime(total TaskStats) float64 {
 	return m.MapTime(total) + m.ShuffleReduceSeconds(total) + m.Cluster.JobOverhead
 }
 
+// PlannedScanSeconds prices a scan before it runs, from the planner's
+// estimates alone: the bytes the chosen plan expects to charge stream at
+// one disk's bandwidth and decode at the raw rate, and each estimated
+// match materializes a record. It is the EXPLAIN-side counterpart of
+// ScanSeconds — deliberately coarse (no per-type rates, no seek model),
+// because its inputs are estimates; comparing it with the post-run
+// ScanSeconds is how explain output shows estimation quality in time
+// units.
+func (m CostModel) PlannedScanSeconds(estBytes, estMatches int64) float64 {
+	return float64(estBytes)/m.Cluster.DiskBandwidth +
+		float64(estBytes)/m.RawRate +
+		float64(estMatches)*m.RecordCost
+}
+
 // LoadSeconds prices a data-loading (format conversion) run by a
 // single-threaded loader process, the setting of the paper's Table 2: the
 // source is read at one disk's bandwidth, all decode/encode/compress work
